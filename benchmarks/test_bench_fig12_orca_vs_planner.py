@@ -1,0 +1,103 @@
+"""Figure 12: speed-up ratio of Orca vs the legacy Planner.
+
+Reproduces the per-query speed-up bars of the paper's 10 TB TPC-DS MPP
+experiment on the simulated cluster: Orca plans vs Planner plans for the
+executable suite, execution capped at the timeout (queries that blow it
+show the capped ~1000x ratio, like the paper's 14 timeout queries), and
+the suite-level speed-up summary ("for the entire TPC-DS suite, Orca
+shows a 5x speed-up over Planner").
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.optimizer import Orca
+from repro.planner import LegacyPlanner
+from repro.workloads import QUERIES
+
+from benchmarks.conftest import SPEEDUP_CAP, TIMEOUT_SIM_SECONDS, timed_execution
+
+
+@pytest.fixture(scope="module")
+def figure12(mpp_db):
+    """Optimize + execute the whole suite under both optimizers once."""
+    config = OptimizerConfig(segments=16)
+    orca = Orca(mpp_db, config)
+    planner = LegacyPlanner(mpp_db, config)
+    rows = []
+    for query in QUERIES:
+        orca_result = orca.optimize(query.sql)
+        planner_result = planner.optimize(query.sql)
+        orca_secs, orca_timeout = timed_execution(mpp_db, orca_result)
+        planner_secs, planner_timeout = timed_execution(mpp_db, planner_result)
+        speedup = planner_secs / max(orca_secs, 1e-9)
+        speedup = min(speedup, SPEEDUP_CAP)
+        rows.append({
+            "query": query.id,
+            "orca_s": orca_secs,
+            "planner_s": planner_secs,
+            "speedup": speedup,
+            "capped": planner_timeout and not orca_timeout,
+        })
+    return rows
+
+
+def test_fig12_speedup_table(figure12, benchmark, mpp_db):
+    """Print the Figure 12 series and re-measure one representative
+    optimization for the timing harness."""
+    print("\n=== Figure 12: Orca speed-up ratio vs Planner "
+          f"(timeout cap {TIMEOUT_SIM_SECONDS:.0f} sim-seconds) ===")
+    print(f"{'query':28s} {'orca(s)':>10s} {'planner(s)':>11s} "
+          f"{'speedup':>9s}")
+    for row in figure12:
+        cap = "  (1000x cap)" if row["capped"] else ""
+        print(
+            f"{row['query']:28s} {row['orca_s']:10.4f} "
+            f"{row['planner_s']:11.4f} {min(row['speedup'], 999.9):9.2f}{cap}"
+        )
+    total_orca = sum(r["orca_s"] for r in figure12)
+    total_planner = sum(r["planner_s"] for r in figure12)
+    suite = total_planner / total_orca
+    at_least_par = sum(1 for r in figure12 if r["speedup"] >= 0.95)
+    capped = sum(1 for r in figure12 if r["capped"])
+    print(f"\nsuite speed-up (total time ratio): {suite:.1f}x "
+          f"(paper: 5x)")
+    print(f"queries with Orca >= par: {at_least_par}/{len(figure12)} "
+          f"(paper: ~80% of 111)")
+    print(f"queries capped at 1000x by the timeout: {capped} "
+          f"(paper: 14 of 111)")
+
+    orca = Orca(mpp_db, OptimizerConfig(segments=16))
+    benchmark(lambda: orca.optimize(QUERIES[0].sql))
+
+    # --- shape assertions (the reproduction contract) ---
+    assert suite > 2.0, "Orca must win the suite decisively"
+    assert at_least_par >= len(figure12) * 0.75
+    assert capped >= 1, "some Planner plans must blow the timeout"
+
+
+def test_fig12_correlated_queries_dominate_wins(figure12, benchmark):
+    """The paper attributes the 1000x outliers to correlated subqueries
+    and join ordering; our timeout-capped queries must come from exactly
+    those classes (correlated/subquery shapes, or the join-order-heavy
+    memory-intensive multi-fact joins)."""
+    capped = benchmark(
+        lambda: {r["query"] for r in figure12 if r["capped"]}
+    )
+    expected_losers = {
+        q.id for q in QUERIES
+        if "correlated_subquery" in q.tags or "subquery" in q.tags
+        or q.memory_intensive
+    }
+    assert capped
+    assert capped <= expected_losers
+
+
+def test_fig12_losses_are_bounded(figure12, benchmark):
+    """Section 7.2.2: Orca's sub-optimal plans lose at most ~2x."""
+    worst = benchmark(lambda: min(r["speedup"] for r in figure12))
+    assert worst > 0.33

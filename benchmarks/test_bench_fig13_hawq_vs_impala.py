@@ -1,0 +1,96 @@
+"""Figure 13: HAWQ vs Impala speed-up (TPC-DS, 256 GB analogue).
+
+Runs the executable suite through both engine profiles on the simulated
+8-worker Hadoop cluster.  Queries the Impala profile cannot optimize are
+excluded (as the paper excludes them); queries that overflow its
+spill-less memory show up as ``*`` (out of memory), like the starred bars
+of Figure 13.  The paper reports an average speed-up of ~6x.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.systems import HAWQ, IMPALA_LIKE, SimulatedEngine
+from repro.systems.profiles import EngineProfile
+from repro.workloads import QUERIES
+
+
+def _impala_profile_at_benchmark_scale() -> EngineProfile:
+    """Impala profile with the per-node memory matching benchmark scale
+    (so the memory-intensive queries genuinely OOM without spill)."""
+    from dataclasses import replace
+
+    return replace(IMPALA_LIKE, memory_limit_bytes=512 * 1024)
+
+
+@pytest.fixture(scope="module")
+def figure13(hadoop_db):
+    hawq = SimulatedEngine(HAWQ, hadoop_db)
+    impala = SimulatedEngine(
+        _impala_profile_at_benchmark_scale(), hadoop_db
+    )
+    rows = []
+    for query in QUERIES:
+        if not impala.supports(query):
+            continue
+        hawq_out = hawq.run(query)
+        impala_out = impala.run(query)
+        rows.append({
+            "query": query.id,
+            "hawq_s": hawq_out.seconds,
+            "impala": impala_out,
+        })
+    return rows
+
+
+def test_fig13_speedup_series(figure13, benchmark, hadoop_db):
+    print("\n=== Figure 13: HAWQ speed-up ratio vs Impala "
+          "(TPC-DS 256GB analogue; * = out of memory) ===")
+    speedups = []
+    ooms = 0
+    for row in figure13:
+        impala = row["impala"]
+        if impala.status == "oom":
+            ooms += 1
+            print(f"{row['query']:28s} hawq={row['hawq_s']:9.4f}s  impala=*")
+        elif impala.status == "ok":
+            ratio = impala.seconds / max(row["hawq_s"], 1e-9)
+            speedups.append(ratio)
+            print(
+                f"{row['query']:28s} hawq={row['hawq_s']:9.4f}s  "
+                f"impala={impala.seconds:9.4f}s  speedup={ratio:7.2f}"
+            )
+    geo = math.exp(sum(math.log(max(s, 1e-9)) for s in speedups) / len(speedups))
+    avg = sum(speedups) / len(speedups)
+    print(f"\nqueries compared: {len(figure13)} "
+          f"(paper: 31 supported by Impala)")
+    print(f"out-of-memory in Impala: {ooms} (paper: several '*' bars)")
+    print(f"average speed-up: {avg:.1f}x, geometric mean: {geo:.1f}x "
+          f"(paper: ~6x average)")
+
+    hawq = SimulatedEngine(HAWQ, hadoop_db)
+    benchmark(lambda: hawq.run(QUERIES[0]))
+
+    assert len(figure13) >= 10
+    assert avg > 1.5, "HAWQ must win on average"
+    assert all(s > 0.4 for s in speedups)
+
+
+def test_fig13_spill_less_execution_ooms(figure13, benchmark, hadoop_db):
+    """Without spilling, at least one supported query must run out of
+    memory — the mechanism behind Figure 13's '*' bars — while HAWQ
+    (which spills) completes every one of them."""
+    statuses = benchmark(
+        lambda: {r["query"]: r["impala"].status for r in figure13}
+    )
+    assert "oom" in statuses.values()
+    hawq = SimulatedEngine(HAWQ, hadoop_db)
+    from repro.workloads import queries_by_id
+
+    queries = queries_by_id()
+    for qid, status in statuses.items():
+        if status == "oom":
+            assert hawq.run(queries[qid]).status == "ok"

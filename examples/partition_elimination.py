@@ -1,0 +1,75 @@
+"""Partition elimination: static pruning and dynamic (runtime) pruning.
+
+Section 7.2.2 / paper reference [2]: Orca prunes partitions of a
+range-partitioned fact table both statically (literal predicates on the
+partition column) and dynamically (partition keys discovered at runtime
+from the build side of a join).  The legacy Planner only prunes
+statically.
+
+Run:  python examples/partition_elimination.py
+"""
+
+from repro import Cluster, Executor, LegacyPlanner, Orca, OptimizerConfig
+from repro.workloads import build_populated_db
+
+STATIC_SQL = """
+SELECT count(*) AS n, sum(ss.ss_sales_price) AS total
+FROM store_sales ss
+WHERE ss.ss_sold_date_sk BETWEEN 1 AND 92
+"""
+
+DYNAMIC_SQL = """
+SELECT d.d_day_name, sum(ss.ss_sales_price) AS sales
+FROM store_sales ss, date_dim d
+WHERE ss.ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = 1998 AND d.d_qoy = 1
+GROUP BY d.d_day_name
+ORDER BY d.d_day_name
+"""
+
+
+def rounded(rows):
+    return sorted(
+        tuple(round(v, 6) if isinstance(v, float) else v for v in r)
+        for r in rows
+    )
+
+
+def run(db, optimizer, sql, label):
+    result = optimizer.optimize(sql)
+    out = Executor(Cluster(db, segments=8)).execute(
+        result.plan, result.output_cols
+    )
+    scans = [n for n in result.plan.walk() if "Scan" in n.op.name]
+    print(f"{label:30s} scanned {out.metrics.partitions_scanned:3d} "
+          f"partitions, eliminated {out.metrics.partitions_eliminated:3d} "
+          f"at runtime, {out.simulated_seconds():.4f}s  "
+          f"[{', '.join(s.op.name for s in scans)}]")
+    return out
+
+
+def main() -> None:
+    db = build_populated_db(scale=0.2)
+    total_parts = db.table("store_sales").num_partitions()
+    print(f"store_sales has {total_parts} quarterly range partitions\n")
+
+    orca = Orca(db, OptimizerConfig(segments=8))
+    planner = LegacyPlanner(db, OptimizerConfig(segments=8))
+
+    print("--- static elimination: literal range on the partition key ---")
+    a = run(db, orca, STATIC_SQL, "Orca")
+    b = run(db, planner, STATIC_SQL, "Planner (also static)")
+    assert rounded(a.rows) == rounded(b.rows)
+
+    print("\n--- dynamic elimination: partition keys come from a joined,")
+    print("    filtered dimension (no literal on the fact table) ---")
+    c = run(db, orca, DYNAMIC_SQL, "Orca (DynamicScan)")
+    d = run(db, planner, DYNAMIC_SQL, "Planner (scans everything)")
+    assert rounded(c.rows) == rounded(d.rows)
+
+    print("\nOrca's DynamicScan consulted the partition keys published by")
+    print("the hash join's build side and skipped the dead partitions.")
+
+
+if __name__ == "__main__":
+    main()

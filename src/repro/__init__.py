@@ -1,0 +1,50 @@
+"""repro: a pure-Python reproduction of Orca (SIGMOD 2014).
+
+"Orca: A Modular Query Optimizer Architecture for Big Data" — a modular,
+Cascades-style, MPP-aware, cost-based query optimizer, rebuilt together
+with every substrate its evaluation depends on: a simulated Greenplum-style
+cluster and executor, the legacy Planner baseline, SQL-on-Hadoop engine
+profiles, a TPC-DS-style workload, the DXL exchange format, the metadata
+provider framework, and the AMPERe / TAQO verifiability tooling.
+
+Quickstart::
+
+    from repro import Orca, OptimizerConfig, Cluster, Executor
+    from repro.workloads import build_populated_db
+
+    db = build_populated_db(scale=0.1)
+    orca = Orca(db, OptimizerConfig(segments=8))
+    result = orca.optimize("SELECT d.d_year, sum(ss.ss_sales_price) AS s "
+                           "FROM store_sales ss, date_dim d "
+                           "WHERE ss.ss_sold_date_sk = d.d_date_sk "
+                           "GROUP BY d.d_year ORDER BY d.d_year")
+    print(result.explain())
+    rows = Executor(Cluster(db, segments=8)).execute(
+        result.plan, result.output_cols).rows
+"""
+
+from repro.config import OptimizationStage, OptimizerConfig
+from repro.catalog.database import Database
+from repro.engine.cluster import Cluster
+from repro.engine.executor import ExecutionResult, Executor
+from repro.errors import ReproError
+from repro.optimizer import OptimizationResult, Orca
+from repro.planner import LegacyPlanner
+from repro.search.plan import PlanNode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Orca",
+    "OptimizationResult",
+    "OptimizerConfig",
+    "OptimizationStage",
+    "LegacyPlanner",
+    "Database",
+    "Cluster",
+    "Executor",
+    "ExecutionResult",
+    "PlanNode",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,223 @@
+"""Command-line interface: explain, run, and replay queries.
+
+Usage (against the built-in TPC-DS workload)::
+
+    python -m repro explain "SELECT count(*) FROM store_sales ss"
+    python -m repro run "SELECT d_year, count(*) AS n FROM date_dim GROUP BY d_year ORDER BY d_year" --scale 0.1
+    python -m repro explain ... --planner          # legacy Planner plan
+    python -m repro memo "SELECT ..."              # dump the Memo
+    python -m repro dump-metadata catalog.dxl      # export metadata as DXL
+    python -m repro capture dump.dxl "SELECT ..."  # AMPERe capture
+    python -m repro replay dump.dxl                # AMPERe offline replay
+    python -m repro support                        # Figure 15 counts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import OptimizerConfig
+from repro.engine.cluster import Cluster
+from repro.engine.executor import Executor
+from repro.errors import ReproError
+from repro.optimizer import Orca
+from repro.planner import LegacyPlanner
+from repro.workloads import build_populated_db
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="TPC-DS scale factor (default 0.1)",
+    )
+    parser.add_argument(
+        "--segments", type=int, default=8,
+        help="number of simulated segments (default 8)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="data generator seed"
+    )
+    parser.add_argument(
+        "--planner", action="store_true",
+        help="use the legacy Planner instead of Orca",
+    )
+    parser.add_argument(
+        "--disable", action="append", default=[],
+        metavar="RULE_OR_FEATURE",
+        help="disable a transformation rule by name, or one of: "
+             "decorrelation, cte_sharing, partition_elimination, "
+             "join_reordering (repeatable)",
+    )
+
+
+def _config(args) -> OptimizerConfig:
+    feature_flags = {
+        "decorrelation": "enable_decorrelation",
+        "cte_sharing": "enable_cte_sharing",
+        "partition_elimination": "enable_partition_elimination",
+        "join_reordering": "enable_join_reordering",
+    }
+    kwargs = {"segments": args.segments}
+    rules = []
+    for name in args.disable:
+        if name in feature_flags:
+            kwargs[feature_flags[name]] = False
+        else:
+            rules.append(name)
+    config = OptimizerConfig(**kwargs)
+    if rules:
+        config = config.with_disabled(*rules)
+    return config
+
+
+def _optimize(args, db, sql):
+    config = _config(args)
+    if args.planner:
+        return LegacyPlanner(db, config).optimize(sql)
+    return Orca(db, config).optimize(sql)
+
+
+def cmd_explain(args) -> int:
+    db = build_populated_db(scale=args.scale, seed=args.seed)
+    result = _optimize(args, db, args.sql)
+    print(result.explain())
+    return 0
+
+
+def cmd_memo(args) -> int:
+    db = build_populated_db(scale=args.scale, seed=args.seed)
+    result = Orca(db, _config(args)).optimize(args.sql)
+    print(result.memo.dump())
+    print(f"\n{result.num_groups} groups, {result.num_gexprs} group "
+          f"expressions, {result.jobs_executed} jobs, "
+          f"{result.xform_count} rule applications")
+    return 0
+
+
+def cmd_run(args) -> int:
+    db = build_populated_db(scale=args.scale, seed=args.seed)
+    result = _optimize(args, db, args.sql)
+    cluster = Cluster(db, segments=args.segments)
+    out = Executor(cluster).execute(result.plan, result.output_cols)
+    names = getattr(result, "output_names", None) or [
+        c.name for c in result.output_cols
+    ]
+    print(" | ".join(names))
+    limit = args.max_rows
+    for row in out.rows[:limit]:
+        print(" | ".join("NULL" if v is None else str(v) for v in row))
+    if len(out.rows) > limit:
+        print(f"... ({len(out.rows)} rows total)")
+    print(f"\n{len(out.rows)} rows in {out.simulated_seconds():.4f} "
+          "simulated seconds")
+    return 0
+
+
+def cmd_dump_metadata(args) -> int:
+    from repro.dxl import serialize_metadata, to_string
+
+    db = build_populated_db(scale=args.scale, seed=args.seed)
+    text = to_string(serialize_metadata(db))
+    with open(args.path, "w", encoding="utf-8") as f:
+        f.write(text)
+    print(f"wrote {len(text)} bytes of DXL metadata to {args.path}")
+    return 0
+
+
+def cmd_capture(args) -> int:
+    from repro.verify.ampere import capture_dump
+
+    db = build_populated_db(scale=args.scale, seed=args.seed)
+    config = _config(args)
+    expected = Orca(db, config).optimize(args.sql).plan
+    dump = capture_dump(db, args.sql, config, expected_plan=expected)
+    dump.save(args.path)
+    print(f"AMPERe dump written to {args.path}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.verify.ampere import AMPEReDump, plans_match, replay_dump
+
+    dump = AMPEReDump.load(args.path)
+    result = replay_dump(dump)
+    print(result.explain())
+    if dump.expected_plan_xml is not None:
+        ok = plans_match(dump, result)
+        print(f"\nplan matches the dump's expected plan: {ok}")
+        return 0 if ok else 1
+    return 0
+
+
+def cmd_support(args) -> int:
+    from repro.systems.profiles import ALL_PROFILES
+    from repro.workloads import TPCDS_DESCRIPTORS
+    from repro.workloads.feature_matrix import supported
+
+    print(f"{'engine':10s} {'optimize':>9s}   (of {len(TPCDS_DESCRIPTORS)})")
+    for profile in ALL_PROFILES:
+        count = sum(
+            1 for d in TPCDS_DESCRIPTORS
+            if supported(d, profile.unsupported_features)
+        )
+        print(f"{profile.name:10s} {count:9d}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Orca (SIGMOD 2014) reproduction: optimize and run "
+                    "SQL on a simulated MPP cluster over a TPC-DS workload",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("explain", help="print the optimized plan")
+    p.add_argument("sql")
+    _add_common(p)
+    p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser("memo", help="print the Memo after optimization")
+    p.add_argument("sql")
+    _add_common(p)
+    p.set_defaults(fn=cmd_memo)
+
+    p = sub.add_parser("run", help="optimize, execute and print rows")
+    p.add_argument("sql")
+    p.add_argument("--max-rows", type=int, default=25)
+    _add_common(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("dump-metadata", help="export catalog metadata to DXL")
+    p.add_argument("path")
+    _add_common(p)
+    p.set_defaults(fn=cmd_dump_metadata)
+
+    p = sub.add_parser("capture", help="capture an AMPERe dump for a query")
+    p.add_argument("path")
+    p.add_argument("sql")
+    _add_common(p)
+    p.set_defaults(fn=cmd_capture)
+
+    p = sub.add_parser("replay", help="replay an AMPERe dump offline")
+    p.add_argument("path")
+    p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser("support", help="Figure 15 engine support counts")
+    p.set_defaults(fn=cmd_support)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

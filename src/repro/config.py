@@ -1,0 +1,86 @@
+"""Optimizer configuration: rule toggles, stages, and engine knobs.
+
+The paper emphasizes that every transformation rule is a self-contained
+component that can be explicitly activated or deactivated in Orca
+configurations (Section 3), and that optimization can be staged, where each
+stage runs a subset of rules under an optional timeout / cost threshold
+(Section 4.1, "Multi-Stage Optimization").  :class:`OptimizerConfig` carries
+all of that plus the cluster description needed by the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class OptimizationStage:
+    """One optimization stage: a rule subset plus termination conditions.
+
+    A stage terminates when (1) a plan with cost below ``cost_threshold`` is
+    found, (2) ``timeout_jobs`` optimization jobs have been executed (our
+    deterministic stand-in for a wall-clock timeout), or (3) the rule subset
+    is exhausted -- exactly the three conditions in Section 4.1.
+    """
+
+    name: str = "default"
+    #: Rule names to run in this stage; ``None`` means "all enabled rules".
+    rules: Optional[frozenset[str]] = None
+    #: Stop early once a complete plan cheaper than this is known.
+    cost_threshold: Optional[float] = None
+    #: Deterministic budget: maximum number of scheduler jobs to run.
+    timeout_jobs: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Immutable configuration for one optimization session."""
+
+    #: Number of segment instances in the simulated cluster (Section 2.1).
+    segments: int = 16
+    #: Rules disabled by name (e.g. ``{"InnerJoin2NLJoin"}``).
+    disabled_rules: frozenset[str] = frozenset()
+    #: Optimization stages, applied in order (Section 4.1).
+    stages: tuple[OptimizationStage, ...] = (OptimizationStage(),)
+    #: Enable subquery decorrelation (Apply -> Join unnesting, Section 7.2.2).
+    enable_decorrelation: bool = True
+    #: Enable static + dynamic partition elimination (Section 7.2.2, ref [2]).
+    enable_partition_elimination: bool = True
+    #: Enable shared CTE producer/consumer planning for WITH (Section 7.2.2).
+    enable_cte_sharing: bool = True
+    #: Enable cost-based join-order exploration (commutativity/associativity).
+    enable_join_reordering: bool = True
+    #: Cap on exhaustive join reordering; larger joins use greedy linearization.
+    join_order_dp_threshold: int = 7
+    #: Number of worker threads for the job scheduler (1 = serial).
+    workers: int = 1
+    #: Arbitrary named trace flags, serialized into AMPERe dumps (Listing 2).
+    trace_flags: frozenset[str] = frozenset()
+    #: Random seed for anything stochastic (plan sampling, data generation).
+    seed: int = 42
+
+    def with_disabled(self, *rule_names: str) -> "OptimizerConfig":
+        """Return a copy with additional rules disabled (for ablations)."""
+        return replace(
+            self, disabled_rules=self.disabled_rules | frozenset(rule_names)
+        )
+
+    def with_stages(self, stages: Sequence[OptimizationStage]) -> "OptimizerConfig":
+        """Return a copy using the given optimization stages."""
+        return replace(self, stages=tuple(stages))
+
+    def rule_enabled(self, name: str) -> bool:
+        """True if the named transformation rule may fire in this session."""
+        return name not in self.disabled_rules
+
+    def with_flags(self, flags: Iterable[str]) -> "OptimizerConfig":
+        """Return a copy with additional trace flags set."""
+        return replace(self, trace_flags=self.trace_flags | frozenset(flags))
+
+
+#: Configuration mirroring the paper's MPP experiments (Section 7.2.1).
+MPP_DEFAULT = OptimizerConfig(segments=16)
+
+#: Configuration mirroring the paper's Hadoop experiments (Section 7.3.1).
+HADOOP_DEFAULT = OptimizerConfig(segments=8)

@@ -1,0 +1,5 @@
+"""Cost model for MPP plans (Section 3, Optimizer Tools)."""
+
+from repro.cost.model import CostModel, CostParams
+
+__all__ = ["CostModel", "CostParams"]

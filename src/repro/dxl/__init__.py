@@ -1,0 +1,29 @@
+"""DXL: the Data eXchange Language (Section 3, Listings 1-2).
+
+An XML dialect carrying queries, plans and metadata between the optimizer
+and a database system.  "A major benefit of DXL is packaging Orca as a
+stand-alone product": a query can be serialized, shipped (here: written
+to a file), parsed back and optimized without the originating system.
+"""
+
+from repro.dxl.serializer import (
+    serialize_metadata,
+    serialize_plan,
+    serialize_query,
+    to_string,
+)
+from repro.dxl.parser import (
+    parse_document,
+    parse_metadata,
+    parse_query,
+)
+
+__all__ = [
+    "serialize_metadata",
+    "serialize_plan",
+    "serialize_query",
+    "to_string",
+    "parse_document",
+    "parse_metadata",
+    "parse_query",
+]

@@ -1,0 +1,409 @@
+"""Parsing DXL documents back into catalog objects and logical trees."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from datetime import date
+from typing import Optional
+
+from repro.catalog.database import Database
+from repro.catalog.schema import (
+    Column,
+    DistributionPolicy,
+    Index,
+    PartitionScheme,
+    RangePartition,
+    Table,
+)
+from repro.catalog.statistics import Bucket, ColumnStats, Histogram, TableStats
+from repro.catalog.types import BY_NAME, DataType, TEXT
+from repro.errors import DXLError
+from repro.ops import logical as lg
+from repro.ops.expression import Expression
+from repro.ops.scalar import (
+    AggFunc,
+    Arith,
+    BoolExpr,
+    CaseExpr,
+    ColRef,
+    ColRefExpr,
+    ColumnFactory,
+    Comparison,
+    InList,
+    IsNull,
+    LikeExpr,
+    Literal,
+    WindowFunc,
+)
+
+
+def parse_document(text: str) -> ET.Element:
+    return ET.fromstring(text)
+
+
+# ----------------------------------------------------------------------
+# Values
+# ----------------------------------------------------------------------
+
+def decode_value(elem: ET.Element):
+    if elem.get("IsNull") == "true":
+        return None
+    kind = elem.get("ValueType")
+    raw = elem.get("Value", "")
+    if kind == "bool":
+        return raw == "true"
+    if kind == "int":
+        return int(raw)
+    if kind == "float":
+        return float(raw)
+    if kind == "date":
+        return date.fromisoformat(raw)
+    if kind == "text":
+        return raw
+    raise DXLError(f"unknown value type {kind!r}")
+
+
+def _dtype(name: Optional[str]) -> DataType:
+    if name is None:
+        return TEXT
+    dtype = BY_NAME.get(name)
+    if dtype is None:
+        raise DXLError(f"unknown type {name!r}")
+    return dtype
+
+
+def _parse_colref(elem: ET.Element, factory: ColumnFactory) -> ColRef:
+    ref = ColRef(
+        int(elem.get("ColId", "0")),
+        elem.get("Name", "col"),
+        _dtype(elem.get("TypeName")),
+    )
+    return factory.register(ref)
+
+
+# ----------------------------------------------------------------------
+# Metadata
+# ----------------------------------------------------------------------
+
+def parse_metadata(elem: ET.Element) -> Database:
+    """Reconstruct a schema+stats-only Database from a Metadata element.
+
+    The result has no rows; it is sufficient for optimization, which is
+    exactly the point of AMPERe replay (Section 6.1).
+    """
+    system = elem.get("SystemIds", "0.GPDB").split(".", 1)[-1]
+    db = Database(name="replay", system_id=system)
+    stats_by_table: dict[str, TableStats] = {}
+    for rel in elem.findall("Relation"):
+        name = rel.get("Name")
+        columns = [
+            Column(
+                c.get("Name"),
+                _dtype(c.get("TypeName")),
+                c.get("Nullable", "true") == "true",
+            )
+            for c in rel.find("Columns").findall("Column")
+        ]
+        indexes = [
+            Index(i.get("Name"), i.get("Column"))
+            for i in rel.findall("Index")
+        ]
+        partitioning = None
+        parts_elem = rel.find("Partitioning")
+        if parts_elem is not None:
+            partitions = tuple(
+                RangePartition(
+                    p.get("Name"),
+                    decode_value(p.find("Lo")),
+                    decode_value(p.find("Hi")),
+                )
+                for p in parts_elem.findall("Partition")
+            )
+            partitioning = PartitionScheme(parts_elem.get("Column"), partitions)
+        dist_cols = tuple(
+            filter(None, (rel.get("DistributionColumns") or "").split(","))
+        )
+        table = Table(
+            name,
+            columns,
+            distribution=DistributionPolicy(rel.get("DistributionPolicy")),
+            distribution_columns=dist_cols,
+            indexes=indexes,
+            partitioning=partitioning,
+        )
+        db.create_table(table)
+    for rel_stats in elem.findall("RelStats"):
+        stats_by_table[rel_stats.get("Name")] = TableStats(
+            row_count=float(rel_stats.get("Rows", "0"))
+        )
+    for col_stats in elem.findall("ColStats"):
+        table_name = col_stats.get("Relation")
+        stats = stats_by_table.setdefault(table_name, TableStats(row_count=0.0))
+        histogram = None
+        hist_elem = col_stats.find("Histogram")
+        if hist_elem is not None:
+            buckets = tuple(
+                Bucket(
+                    float(b.get("Lo")),
+                    float(b.get("Hi")),
+                    float(b.get("Rows")),
+                    float(b.get("NDV")),
+                )
+                for b in hist_elem.findall("Bucket")
+            )
+            histogram = Histogram(
+                buckets=buckets,
+                null_rows=float(hist_elem.get("NullRows", "0")),
+            )
+        stats.columns[col_stats.get("Column")] = ColumnStats(
+            ndv=float(col_stats.get("NDV", "0")),
+            null_frac=float(col_stats.get("NullFrac", "0")),
+            histogram=histogram,
+            width=int(col_stats.get("Width", "8")),
+        )
+    for name, stats in stats_by_table.items():
+        if db.has_table(name):
+            db.set_stats(name, stats)
+    return db
+
+
+# ----------------------------------------------------------------------
+# Scalars
+# ----------------------------------------------------------------------
+
+def parse_scalar(elem: ET.Element, factory: ColumnFactory):
+    tag = elem.tag
+    if tag == "Ident":
+        return ColRefExpr(_parse_colref(elem, factory))
+    if tag == "Const":
+        return Literal(decode_value(elem), _dtype(elem.get("TypeName")))
+    if tag == "Comparison":
+        kids = list(elem)
+        return Comparison(
+            elem.get("Operator"),
+            parse_scalar(kids[0], factory),
+            parse_scalar(kids[1], factory),
+        )
+    if tag == "BoolExpr":
+        return BoolExpr(
+            elem.get("Kind"), [parse_scalar(c, factory) for c in elem]
+        )
+    if tag == "Arith":
+        kids = list(elem)
+        return Arith(
+            elem.get("Operator"),
+            parse_scalar(kids[0], factory),
+            parse_scalar(kids[1], factory),
+        )
+    if tag == "IsNull":
+        return IsNull(
+            parse_scalar(list(elem)[0], factory),
+            elem.get("Negated") == "true",
+        )
+    if tag == "InList":
+        kids = list(elem)
+        arg = parse_scalar(kids[0], factory)
+        values = [decode_value(v) for v in elem.findall("Value")]
+        return InList(arg, values, elem.get("Negated") == "true")
+    if tag == "Like":
+        return LikeExpr(
+            parse_scalar(list(elem)[0], factory),
+            elem.get("Pattern", ""),
+            elem.get("Negated") == "true",
+        )
+    if tag == "Case":
+        whens = []
+        for when in elem.findall("When"):
+            kids = list(when)
+            whens.append(
+                (parse_scalar(kids[0], factory), parse_scalar(kids[1], factory))
+            )
+        else_elem = elem.find("Else")
+        else_ = parse_scalar(list(else_elem)[0], factory) if else_elem is not None \
+            and len(else_elem) else None
+        return CaseExpr(whens, else_)
+    if tag == "AggFunc":
+        kids = list(elem)
+        arg = parse_scalar(kids[0], factory) if kids else None
+        return AggFunc(elem.get("Name"), arg, elem.get("Distinct") == "true")
+    if tag == "WindowFunc":
+        partition = [
+            _parse_colref(c, factory)
+            for c in elem.find("PartitionBy").findall("Ident")
+        ]
+        order = [
+            (_parse_colref(c, factory), c.get("Ascending") != "false")
+            for c in elem.find("OrderBy").findall("SortKey")
+        ]
+        arg_elem = elem.find("Arg")
+        arg = (
+            parse_scalar(list(arg_elem)[0], factory)
+            if arg_elem is not None and len(arg_elem)
+            else None
+        )
+        return WindowFunc(elem.get("Name"), arg, partition, order)
+    raise DXLError(f"unknown scalar element {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Logical operators
+# ----------------------------------------------------------------------
+
+_LOGICAL_TAGS = {
+    "LogicalGet", "LogicalSelect", "LogicalProject", "LogicalJoin",
+    "LogicalApply", "LogicalGbAgg", "LogicalLimit", "LogicalUnionAll",
+    "LogicalWindow", "LogicalCTEAnchor", "LogicalCTEConsumer",
+}
+
+
+def _logical_children(elem: ET.Element, db, factory) -> list[Expression]:
+    return [
+        parse_logical(child, db, factory)
+        for child in elem
+        if child.tag in _LOGICAL_TAGS
+    ]
+
+
+def parse_logical(
+    elem: ET.Element, db: Database, factory: ColumnFactory
+) -> Expression:
+    tag = elem.tag
+    if tag == "LogicalGet":
+        desc = elem.find("TableDescriptor")
+        table = db.table(desc.get("Name"))
+        columns = [
+            _parse_colref(c, factory)
+            for c in desc.find("Columns").findall("Ident")
+        ]
+        partitions = None
+        if desc.get("Partitions") is not None:
+            raw = desc.get("Partitions")
+            partitions = tuple(int(x) for x in raw.split(",") if x != "")
+        return Expression(
+            lg.LogicalGet(table, columns, desc.get("Alias"), partitions)
+        )
+    if tag == "LogicalSelect":
+        pred = parse_scalar(list(elem.find("Predicate"))[0], factory)
+        children = _logical_children(elem, db, factory)
+        return Expression(lg.LogicalSelect(pred), children)
+    if tag == "LogicalProject":
+        projections = []
+        for proj in elem.findall("ProjElem"):
+            ref = _parse_colref(proj, factory)
+            scalar = parse_scalar(list(proj)[0], factory)
+            projections.append((scalar, ref))
+        children = _logical_children(elem, db, factory)
+        return Expression(lg.LogicalProject(projections), children)
+    if tag == "LogicalJoin":
+        kind = lg.JoinKind(elem.get("JoinType"))
+        cond_elem = elem.find("JoinCondition")
+        condition = (
+            parse_scalar(list(cond_elem)[0], factory)
+            if cond_elem is not None and len(cond_elem)
+            else None
+        )
+        children = _logical_children(elem, db, factory)
+        return Expression(lg.LogicalJoin(kind, condition), children)
+    if tag == "LogicalApply":
+        kind = lg.ApplyKind(elem.get("Kind"))
+        raw = elem.get("OuterRefs", "")
+        outer_refs = frozenset(int(x) for x in raw.split(",") if x != "")
+        children = _logical_children(elem, db, factory)
+        return Expression(lg.LogicalApply(kind, outer_refs), children)
+    if tag == "LogicalGbAgg":
+        stage = lg.AggStage(elem.get("Stage", "global"))
+        groups = [
+            _parse_colref(c, factory)
+            for c in elem.find("GroupingColumns").findall("Ident")
+        ]
+        aggs = []
+        for agg_elem in elem.findall("AggElem"):
+            ref = _parse_colref(agg_elem, factory)
+            func = parse_scalar(list(agg_elem)[0], factory)
+            aggs.append((func, ref))
+        children = _logical_children(elem, db, factory)
+        return Expression(lg.LogicalGbAgg(groups, aggs, stage), children)
+    if tag == "LogicalLimit":
+        count = elem.get("Count")
+        sort_keys = [
+            (_parse_colref(c, factory), c.get("Ascending") != "false")
+            for c in elem.find("SortingColumnList").findall("SortingColumn")
+        ]
+        children = _logical_children(elem, db, factory)
+        return Expression(
+            lg.LogicalLimit(
+                sort_keys,
+                int(count) if count is not None else None,
+                int(elem.get("Offset", "0")),
+            ),
+            children,
+        )
+    if tag == "LogicalUnionAll":
+        output = [
+            _parse_colref(c, factory)
+            for c in elem.find("OutputColumns").findall("Ident")
+        ]
+        inputs = [
+            [_parse_colref(c, factory) for c in inp.findall("Ident")]
+            for inp in elem.findall("InputColumns")
+        ]
+        children = _logical_children(elem, db, factory)
+        return Expression(lg.LogicalUnionAll(output, inputs), children)
+    if tag == "LogicalWindow":
+        funcs = []
+        for win in elem.findall("WindowElem"):
+            ref = _parse_colref(win, factory)
+            func = parse_scalar(list(win)[0], factory)
+            funcs.append((func, ref))
+        children = _logical_children(elem, db, factory)
+        return Expression(lg.LogicalWindow(funcs), children)
+    if tag == "LogicalCTEAnchor":
+        children = _logical_children(elem, db, factory)
+        return Expression(
+            lg.LogicalCTEAnchor(int(elem.get("CTEId"))), children
+        )
+    if tag == "LogicalCTEConsumer":
+        output = [
+            _parse_colref(c, factory)
+            for c in elem.find("OutputColumns").findall("Ident")
+        ]
+        producer = [
+            _parse_colref(c, factory)
+            for c in elem.find("ProducerColumns").findall("Ident")
+        ]
+        return Expression(
+            lg.LogicalCTEConsumer(int(elem.get("CTEId")), output, producer)
+        )
+    raise DXLError(f"unknown logical element {tag!r}")
+
+
+def parse_query(root: ET.Element, db: Database, factory: ColumnFactory):
+    """Parse a DXL Query message.
+
+    Returns (tree, output_cols, required_sort, cte_producers) where
+    ``cte_producers`` is a list of (cte_id, tree, output_cols).
+    """
+    query = root.find("Query")
+    if query is None:
+        raise DXLError("DXLMessage has no Query element")
+    output = [
+        _parse_colref(c, factory)
+        for c in query.find("OutputColumns").findall("Ident")
+    ]
+    required_sort = [
+        (_parse_colref(c, factory), c.get("Ascending") != "false")
+        for c in query.find("SortingColumnList").findall("SortingColumn")
+    ]
+    cte_producers = []
+    for producer in query.findall("CTEProducerDef"):
+        cols = [
+            _parse_colref(c, factory)
+            for c in producer.find("OutputColumns").findall("Ident")
+        ]
+        tree_elem = next(c for c in producer if c.tag in _LOGICAL_TAGS)
+        cte_producers.append(
+            (int(producer.get("CTEId")), parse_logical(tree_elem, db, factory), cols)
+        )
+    tree_elem = next(c for c in query if c.tag in _LOGICAL_TAGS)
+    tree = parse_logical(tree_elem, db, factory)
+    return tree, output, required_sort, cte_producers

@@ -1,0 +1,13 @@
+"""Simulated MPP execution engine (Section 2.1 substrate).
+
+Executes physical plans over an in-memory cluster of segments plus a
+master, actually moving rows through motions, building hash tables,
+spilling (or OOMing) when per-node memory is exceeded, and accounting
+work on a calibrated cost clock that stands in for wall-clock time.
+"""
+
+from repro.engine.cluster import Cluster
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.executor import ExecutionResult, Executor
+
+__all__ = ["Cluster", "ExecutionMetrics", "ExecutionResult", "Executor"]

@@ -1,0 +1,58 @@
+"""The simulated shared-nothing cluster (Figure 1).
+
+A master plus N segments over one :class:`~repro.catalog.Database`.
+Tables are laid out per their distribution policy; the executor moves
+rows between segments through simulated motions.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.catalog.database import Database
+
+#: Default per-node working memory (bytes) for hash tables and sorts.
+DEFAULT_MEMORY_LIMIT = 64 * 1024 * 1024
+
+
+def stable_hash(value: Any) -> int:
+    """Deterministic cross-process hash used for data distribution."""
+    if value is None:
+        return 0
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+def hash_bucket(values: Sequence[Any], segments: int) -> int:
+    acc = 0
+    for v in values:
+        acc = (acc * 1000003 + stable_hash(v)) & 0xFFFFFFFF
+    return acc % segments
+
+
+@dataclass
+class Cluster:
+    """Execution substrate configuration."""
+
+    db: Database
+    segments: int = 16
+    #: Per-node working memory for blocking operators.
+    memory_limit_bytes: int = DEFAULT_MEMORY_LIMIT
+    #: Whether operators may spill to disk instead of failing with OOM
+    #: (Impala-like engines in Section 7.3.2 cannot).
+    spill_enabled: bool = True
+
+    def distribute_rows(
+        self, rows: list[tuple], key_positions: Optional[Sequence[int]]
+    ) -> list[list[tuple]]:
+        """Split rows into per-segment buckets (hash or round-robin)."""
+        buckets: list[list[tuple]] = [[] for _ in range(self.segments)]
+        if key_positions:
+            for row in rows:
+                key = [row[p] for p in key_positions]
+                buckets[hash_bucket(key, self.segments)].append(row)
+        else:
+            for i, row in enumerate(rows):
+                buckets[i % self.segments].append(row)
+        return buckets

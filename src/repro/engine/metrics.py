@@ -1,0 +1,83 @@
+"""Execution metrics and the simulated clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import TimeoutError_
+
+#: Simulated seconds per unit of per-node CPU work (1M units/second).
+CPU_SECONDS_PER_UNIT = 1e-6
+#: Simulated seconds per byte crossing the interconnect.  Kept consistent
+#: with the cost model's CostParams.net_byte (0.25 cost units/byte at
+#: 1e-6 s/unit) so that TAQO's estimated-vs-actual comparison measures
+#: estimation error, not a units mismatch between the two clocks.
+NET_SECONDS_PER_BYTE = 2.5e-7
+
+
+@dataclass
+class ExecutionMetrics:
+    """Work accounting for one plan execution.
+
+    ``segment_work`` tracks per-segment CPU work units; the simulated
+    elapsed time is driven by the *busiest* segment (plus the master and
+    the interconnect), so data skew and singleton bottlenecks show up
+    exactly as they would on a real shared-nothing cluster.
+    """
+
+    segments: int
+    segment_work: list[float] = field(default_factory=list)
+    master_work: float = 0.0
+    net_bytes: float = 0.0
+    rows_scanned: int = 0
+    rows_moved: int = 0
+    rows_spilled: int = 0
+    partitions_scanned: int = 0
+    partitions_eliminated: int = 0
+    subplan_executions: int = 0
+    #: (operator repr, estimated rows, actual rows) per plan node, for the
+    #: cardinality-estimation test framework (Section 6).
+    cardinalities: list[tuple[str, float, int]] = field(default_factory=list)
+    #: Optional budget on simulated seconds (the 10000 s cap of §7.2.2).
+    time_limit_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.segment_work:
+            self.segment_work = [0.0] * self.segments
+
+    # ------------------------------------------------------------------
+    def charge_segment(self, segment: int, units: float) -> None:
+        self.segment_work[segment] += units
+
+    def charge_all_segments(self, units_each: float) -> None:
+        for i in range(self.segments):
+            self.segment_work[i] += units_each
+
+    def charge_master(self, units: float) -> None:
+        self.master_work += units
+
+    def charge_network(self, num_bytes: float) -> None:
+        self.net_bytes += num_bytes
+
+    def check_budget(self) -> None:
+        if (
+            self.time_limit_seconds is not None
+            and self.simulated_seconds() > self.time_limit_seconds
+        ):
+            raise TimeoutError_(
+                f"execution exceeded {self.time_limit_seconds:.0f} simulated "
+                "seconds"
+            )
+
+    # ------------------------------------------------------------------
+    def simulated_seconds(self) -> float:
+        """The simulated wall-clock of this execution."""
+        busiest = max(self.segment_work) if self.segment_work else 0.0
+        return (
+            (busiest + self.master_work) * CPU_SECONDS_PER_UNIT
+            + self.net_bytes * NET_SECONDS_PER_BYTE
+        )
+
+    def total_work(self) -> float:
+        return sum(self.segment_work) + self.master_work

@@ -1,0 +1,124 @@
+"""Exception hierarchy for the optimizer and its substrates.
+
+Mirrors the role of GPOS exception handling in the paper (Section 3): every
+error raised inside an optimization session derives from :class:`ReproError`,
+carries a stable error code, and can be serialized into an AMPERe dump
+(Section 6.1) together with a stack trace.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+    #: Stable machine-readable code, overridden by subclasses.
+    code = "REPRO"
+
+    def __init__(self, message: str = ""):
+        super().__init__(message)
+        self.message = message
+
+    def capture_stacktrace(self) -> str:
+        """Return the formatted stack of the current exception context.
+
+        Used by the AMPERe dumper to embed a ``<Stacktrace>`` element.
+        """
+        return "".join(traceback.format_stack()[:-1])
+
+
+class CatalogError(ReproError):
+    """Unknown table/column/index or inconsistent schema definition."""
+
+    code = "CATALOG"
+
+
+class MetadataError(ReproError):
+    """Metadata object missing from cache and provider, or version mismatch."""
+
+    code = "METADATA"
+
+
+class DXLError(ReproError):
+    """Malformed DXL document or unsupported DXL construct."""
+
+    code = "DXL"
+
+
+class SQLError(ReproError):
+    """Lexer/parser failure on SQL input."""
+
+    code = "SQL"
+
+
+class BindError(SQLError):
+    """Name resolution failure (unknown column, ambiguous reference, ...)."""
+
+    code = "BIND"
+
+
+class UnsupportedError(ReproError):
+    """A query uses a feature the target engine profile does not support.
+
+    Section 7.3 of the paper rules out large parts of TPC-DS on Impala,
+    Presto and Stinger precisely because of such errors; engine profiles in
+    :mod:`repro.systems` raise this to reproduce Figure 15.
+    """
+
+    code = "UNSUPPORTED"
+
+    def __init__(self, feature: str, engine: str = ""):
+        self.feature = feature
+        self.engine = engine
+        where = f" by {engine}" if engine else ""
+        super().__init__(f"feature '{feature}' is not supported{where}")
+
+
+class OptimizerError(ReproError):
+    """Internal invariant violation inside the search engine."""
+
+    code = "OPTIMIZER"
+
+
+class NoPlanError(OptimizerError):
+    """The search space contains no plan satisfying the required properties."""
+
+    code = "NOPLAN"
+
+
+class OutOfMemoryError(ReproError):
+    """Simulated executor exceeded its per-node working memory without spill.
+
+    Reproduces the ``*`` bars of Figure 13 (queries that run out of memory in
+    Impala because partial results cannot spill to disk).
+    """
+
+    code = "OOM"
+
+    def __init__(self, operator: str, needed_bytes: int, limit_bytes: int):
+        self.operator = operator
+        self.needed_bytes = needed_bytes
+        self.limit_bytes = limit_bytes
+        super().__init__(
+            f"{operator} needs {needed_bytes} bytes but the per-node memory "
+            f"limit is {limit_bytes} bytes and spilling is disabled"
+        )
+
+
+class ExecutionError(ReproError):
+    """Runtime failure in the simulated executor."""
+
+    code = "EXEC"
+
+
+class TimeoutError_(ReproError):
+    """A stage or a query exceeded its configured budget.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    Reproduces the 10000-second execution cap of Section 7.2.2 and the
+    per-stage optimization timeouts of Section 4.1.
+    """
+
+    code = "TIMEOUT"

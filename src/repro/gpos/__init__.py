@@ -1,0 +1,11 @@
+"""GPOS: the OS abstraction layer (Section 3).
+
+Provides the job scheduler with dependency tracking (Section 4.2), memory
+accounting, and the analytic multi-worker makespan simulator used to
+reproduce the multi-core scalability claims.
+"""
+
+from repro.gpos.scheduler import Job, JobScheduler, JobRecord
+from repro.gpos.memory import MemoryTracker
+
+__all__ = ["Job", "JobScheduler", "JobRecord", "MemoryTracker"]

@@ -1,0 +1,53 @@
+"""Memory accounting (the GPOS memory manager, Section 3).
+
+Tracks approximate bytes held by optimizer data structures so the
+optimization-time/memory experiment (Section 7.2.2: "average memory
+footprint is around 200 MB") has a measurable analogue.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+
+class MemoryTracker:
+    """Accumulates allocation estimates per labelled pool."""
+
+    def __init__(self) -> None:
+        self._pools: dict[str, int] = {}
+
+    def charge(self, pool: str, amount_bytes: int) -> None:
+        self._pools[pool] = self._pools.get(pool, 0) + amount_bytes
+
+    def charge_object(self, pool: str, obj: Any) -> None:
+        self.charge(pool, deep_sizeof(obj))
+
+    def total(self) -> int:
+        return sum(self._pools.values())
+
+    def pools(self) -> dict[str, int]:
+        return dict(self._pools)
+
+    def reset(self) -> None:
+        self._pools.clear()
+
+
+def deep_sizeof(obj: Any, _seen: set | None = None, _depth: int = 0) -> int:
+    """Approximate recursive size of an object graph in bytes."""
+    if _seen is None:
+        _seen = set()
+    if id(obj) in _seen or _depth > 12:
+        return 0
+    _seen.add(id(obj))
+    size = sys.getsizeof(obj, 64)
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            size += deep_sizeof(k, _seen, _depth + 1)
+            size += deep_sizeof(v, _seen, _depth + 1)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += deep_sizeof(item, _seen, _depth + 1)
+    elif hasattr(obj, "__dict__"):
+        size += deep_sizeof(vars(obj), _seen, _depth + 1)
+    return size

@@ -1,0 +1,24 @@
+"""Metadata exchange framework (Section 5, Figure 9).
+
+Orca is designed to work outside the database system; metadata access is
+abstracted behind *providers*.  An :class:`MDAccessor` serves one
+optimization session, pinning objects in the shared :class:`MDCache` and
+transparently fetching misses from the registered provider — either a
+live catalog (:class:`CatalogProvider`) or a DXL file
+(:class:`FileProvider`), which is what lets AMPERe replay optimizations
+with the backend offline.
+"""
+
+from repro.mdp.mdid import MDId
+from repro.mdp.provider import CatalogProvider, FileProvider, MDProvider
+from repro.mdp.cache import MDCache
+from repro.mdp.accessor import MDAccessor
+
+__all__ = [
+    "MDId",
+    "MDProvider",
+    "CatalogProvider",
+    "FileProvider",
+    "MDCache",
+    "MDAccessor",
+]

@@ -1,0 +1,84 @@
+"""The MD Accessor: one optimization session's window onto metadata.
+
+"All accesses to metadata objects are accomplished via MD Accessor, which
+keeps track of objects being accessed in the optimization session, and
+makes sure they are released when they are no longer needed" (Section 5).
+
+An accessor exposes the same ``table(name)`` / ``stats(name)`` surface as
+:class:`~repro.catalog.Database`, so :class:`~repro.optimizer.Orca` can be
+pointed at an accessor instead of a live catalog — this is how replaying
+an AMPERe dump against a file-based provider works.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog.schema import Table
+from repro.catalog.statistics import TableStats
+from repro.errors import MetadataError
+from repro.mdp.cache import MDCache
+from repro.mdp.mdid import MDId
+from repro.mdp.provider import MDProvider
+
+
+class MDAccessor:
+    """Session-scoped metadata access with pinning and access tracking."""
+
+    def __init__(self, cache: MDCache, provider: MDProvider):
+        self.cache = cache
+        self.provider = provider
+        #: Names of relations touched this session (AMPERe harvests this
+        #: to build a minimal dump).
+        self.accessed: list[str] = []
+        self._pinned: list[MDId] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Database-compatible surface
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        obj = self._fetch(MDId.RELATION, name, required=True)
+        return obj
+
+    def has_table(self, name: str) -> bool:
+        return self.provider.current_mdid(MDId.RELATION, name) is not None
+
+    def stats(self, name: str) -> Optional[TableStats]:
+        return self._fetch(MDId.STATS, name, required=False)
+
+    # ------------------------------------------------------------------
+    def _fetch(self, kind: str, name: str, required: bool):
+        if self._closed:
+            raise MetadataError("accessor used after session completion")
+        mdid = self.provider.current_mdid(kind, name)
+        if mdid is None:
+            if required:
+                raise MetadataError(f"no metadata object {kind}:{name}")
+            return None
+        obj = self.cache.lookup(mdid)
+        if obj is None:
+            if kind == MDId.RELATION:
+                obj = self.provider.retrieve_relation(mdid)
+            else:
+                obj = self.provider.retrieve_stats(mdid)
+            self.cache.store(mdid, obj)
+        self.cache.pin(mdid)
+        self._pinned.append(mdid)
+        if name not in self.accessed:
+            self.accessed.append(name)
+        return obj
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release every pin taken during the session."""
+        for mdid in self._pinned:
+            self.cache.unpin(mdid)
+        self._pinned = []
+        self._closed = True
+
+    def __enter__(self) -> "MDAccessor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,43 @@
+"""Metadata ids.
+
+"An Mdid is a unique identifier composed of a database system identifier,
+an object identifier and a version number" (Section 4.1).  Versions
+invalidate cached metadata objects that were modified across queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MetadataError
+
+
+@dataclass(frozen=True)
+class MDId:
+    system_id: str
+    object_id: str
+    version: int = 1
+
+    #: Object kinds.
+    RELATION = "rel"
+    STATS = "stats"
+    kind: str = RELATION
+
+    def __str__(self) -> str:
+        return f"0.{self.system_id}.{self.kind}.{self.object_id}.{self.version}"
+
+    def base_key(self) -> tuple:
+        """Identity ignoring version (for cache invalidation checks)."""
+        return (self.system_id, self.kind, self.object_id)
+
+    @classmethod
+    def parse(cls, text: str) -> "MDId":
+        parts = text.split(".")
+        if len(parts) != 5 or parts[0] != "0":
+            raise MetadataError(f"malformed mdid {text!r}")
+        return cls(
+            system_id=parts[1],
+            kind=parts[2],
+            object_id=parts[3],
+            version=int(parts[4]),
+        )

@@ -1,0 +1,94 @@
+"""Metadata providers: system-specific plug-ins for metadata retrieval."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.catalog.database import Database
+from repro.catalog.schema import Table
+from repro.catalog.statistics import TableStats
+from repro.errors import MetadataError
+from repro.mdp.mdid import MDId
+
+
+class MDProvider:
+    """Interface a database system implements to feed Orca metadata."""
+
+    system_id = "GENERIC"
+
+    def current_mdid(self, kind: str, name: str) -> Optional[MDId]:
+        """The current (latest-version) mdid for an object, or None."""
+        raise NotImplementedError
+
+    def retrieve_relation(self, mdid: MDId) -> Table:
+        raise NotImplementedError
+
+    def retrieve_stats(self, mdid: MDId) -> Optional[TableStats]:
+        raise NotImplementedError
+
+    def table_names(self) -> list[str]:
+        raise NotImplementedError
+
+
+class CatalogProvider(MDProvider):
+    """Serves metadata from a live :class:`Database` catalog."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.system_id = db.system_id
+
+    def current_mdid(self, kind: str, name: str) -> Optional[MDId]:
+        if not self.db.has_table(name):
+            return None
+        return MDId(
+            self.system_id, name, self.db.version(name), kind=kind
+        )
+
+    def retrieve_relation(self, mdid: MDId) -> Table:
+        return self.db.table(mdid.object_id)
+
+    def retrieve_stats(self, mdid: MDId) -> Optional[TableStats]:
+        return self.db.stats(mdid.object_id)
+
+    def table_names(self) -> list[str]:
+        return [t.name for t in self.db.tables()]
+
+
+class FileProvider(MDProvider):
+    """Serves metadata from a DXL metadata document or file (Figure 9).
+
+    "Orca implements a file-based MD Provider to load metadata from a DXL
+    file, eliminating the need to access a live backend system."
+    """
+
+    def __init__(self, source: Union[str, Path, ET.Element]):
+        from repro.dxl.parser import parse_metadata
+
+        if isinstance(source, ET.Element):
+            element = source
+        else:
+            text = Path(source).read_text(encoding="utf-8")
+            element = ET.fromstring(text)
+            if element.tag != "Metadata":
+                found = element.find(".//Metadata")
+                if found is None:
+                    raise MetadataError("document has no Metadata element")
+                element = found
+        self._db = parse_metadata(element)
+        self.system_id = self._db.system_id
+
+    def current_mdid(self, kind: str, name: str) -> Optional[MDId]:
+        if not self._db.has_table(name):
+            return None
+        return MDId(self.system_id, name, self._db.version(name), kind=kind)
+
+    def retrieve_relation(self, mdid: MDId) -> Table:
+        return self._db.table(mdid.object_id)
+
+    def retrieve_stats(self, mdid: MDId) -> Optional[TableStats]:
+        return self._db.stats(mdid.object_id)
+
+    def table_names(self) -> list[str]:
+        return [t.name for t in self._db.tables()]

@@ -1,0 +1,15 @@
+"""The Memo: compact encoding of the plan search space (Section 3, 4.1)."""
+
+from repro.memo.memo import Group, GroupExpression, GroupRef, Memo, group_ref
+from repro.memo.context import OptimizationContext, PlanInfo, StatsObject
+
+__all__ = [
+    "Group",
+    "GroupExpression",
+    "GroupRef",
+    "group_ref",
+    "Memo",
+    "OptimizationContext",
+    "PlanInfo",
+    "StatsObject",
+]

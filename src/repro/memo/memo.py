@@ -1,0 +1,316 @@
+"""The Memo data structure.
+
+"The Memo structure consists of a set of containers called groups, where
+each group contains logically equivalent expressions ... Each group
+expression is an operator that has other groups as its children.  This
+recursive structure of the Memo allows compact encoding of a huge space of
+possible plans." (Section 3)
+
+This implementation includes the built-in duplicate detection mechanism
+based on expression topology (Section 4.1, step 1) and group merging for
+the case where a transformation proves two existing groups equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import OptimizerError
+from repro.memo.context import OptimizationContext, PlanInfo, StatsObject
+from repro.ops.expression import Expression, Operator
+from repro.ops.scalar import ColRef
+from repro.props.required import RequiredProps
+
+
+class GroupRef(Operator):
+    """Pseudo-operator letting transformation rules reference an existing
+    Memo group as a leaf of the expression they produce."""
+
+    name = "GroupRef"
+    is_logical = False
+    is_physical = False
+    arity = 0
+
+    def __init__(self, group_id: int, output_cols: list[ColRef]):
+        self.group_id = group_id
+        self.output_cols = output_cols
+
+    def key(self) -> tuple:
+        return ("GroupRef", self.group_id)
+
+    def derive_output_columns(self, child_outputs) -> list[ColRef]:
+        return list(self.output_cols)
+
+    def __repr__(self) -> str:
+        return f"GroupRef({self.group_id})"
+
+
+def group_ref(memo: "Memo", group_id: int) -> Expression:
+    """Convenience: an Expression leaf standing for an existing group."""
+    group = memo.group(group_id)
+    return Expression(GroupRef(group.id, group.output_cols))
+
+
+class GroupExpression:
+    """An operator whose children are Memo groups."""
+
+    def __init__(self, gexpr_id: int, op: Operator, child_groups: tuple[int, ...]):
+        self.id = gexpr_id
+        self.op = op
+        self.child_groups = child_groups
+        self.group_id: int = -1
+        #: Rule names already applied to this expression (no re-firing).
+        self.applied_rules: set[str] = set()
+        #: Local hash table: request key -> PlanInfo (Figure 6).
+        self.plans: dict[tuple, PlanInfo] = {}
+        self.explored = False
+        self.implemented = False
+
+    def fingerprint(self, memo: "Memo") -> tuple:
+        return (self.op.key(), tuple(memo.find(g) for g in self.child_groups))
+
+    def plan_for(self, req: RequiredProps) -> Optional[PlanInfo]:
+        return self.plans.get(req.key())
+
+    def record_plan(self, req: RequiredProps, info: PlanInfo) -> None:
+        existing = self.plans.get(req.key())
+        if existing is None or info.cost <= existing.cost:
+            self.plans[req.key()] = info
+        else:
+            # The recomputation confirmed the old (cheaper) entry is
+            # still the best this expression can do: mark it fresh.
+            existing.epoch = info.epoch
+
+    def __repr__(self) -> str:
+        kids = ",".join(map(str, self.child_groups))
+        return f"{self.id}: {self.op!r} [{kids}]"
+
+
+class Group:
+    """A container of logically equivalent group expressions."""
+
+    def __init__(self, group_id: int, output_cols: list[ColRef]):
+        self.id = group_id
+        self.gexprs: list[GroupExpression] = []
+        self.output_cols = output_cols
+        self.stats: Optional[StatsObject] = None
+        #: Group hash table: request key -> OptimizationContext (Figure 6).
+        self.contexts: dict[tuple, OptimizationContext] = {}
+        self.explored = False
+        self.implemented = False
+        #: Enforcer fingerprints already added, to avoid duplicates.
+        self._enforcer_keys: set[tuple] = set()
+
+    def context(self, req: RequiredProps) -> OptimizationContext:
+        key = req.key()
+        ctx = self.contexts.get(key)
+        if ctx is None:
+            ctx = OptimizationContext(req=req)
+            self.contexts[key] = ctx
+        return ctx
+
+    def existing_context(self, req: RequiredProps) -> Optional[OptimizationContext]:
+        return self.contexts.get(req.key())
+
+    def logical_gexprs(self) -> list[GroupExpression]:
+        return [g for g in self.gexprs if g.op.is_logical]
+
+    def physical_gexprs(self) -> list[GroupExpression]:
+        return [g for g in self.gexprs if g.op.is_physical]
+
+    def __repr__(self) -> str:
+        return f"Group {self.id} ({len(self.gexprs)} exprs)"
+
+
+class Memo:
+    """Groups + global duplicate detection + union-find group merging."""
+
+    def __init__(self) -> None:
+        self.groups: list[Group] = []
+        self._parent: list[int] = []  # union-find over group ids
+        self._dedup: dict[tuple, GroupExpression] = {}
+        self._gexpr_by_id: dict[int, GroupExpression] = {}
+        self._next_gexpr_id = 0
+        self.root: Optional[int] = None
+
+    def gexpr(self, gexpr_id: int) -> GroupExpression:
+        return self._gexpr_by_id[gexpr_id]
+
+    # ------------------------------------------------------------------
+    # Union-find
+    # ------------------------------------------------------------------
+    def find(self, group_id: int) -> int:
+        root = group_id
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[group_id] != root:
+            self._parent[group_id], group_id = root, self._parent[group_id]
+        return root
+
+    def group(self, group_id: int) -> Group:
+        return self.groups[self.find(group_id)]
+
+    def live_groups(self) -> list[Group]:
+        """Groups that are their own union-find representative."""
+        return [g for i, g in enumerate(self.groups) if self.find(i) == i]
+
+    # ------------------------------------------------------------------
+    # Copy-in
+    # ------------------------------------------------------------------
+    def insert(
+        self, expr: Expression, target_group: Optional[int] = None
+    ) -> int:
+        """Copy an expression tree into the Memo; returns the root group id.
+
+        Children are inserted (or found) first; the root lands in
+        ``target_group`` when given, merging groups if duplicate detection
+        finds the same expression in a different group.
+        """
+        if isinstance(expr.op, GroupRef):
+            return self.find(expr.op.group_id)
+        child_ids = tuple(self.insert(child) for child in expr.children)
+        gexpr, group_id = self._insert_gexpr(expr, child_ids, target_group)
+        return group_id
+
+    def _insert_gexpr(
+        self,
+        expr: Expression,
+        child_ids: tuple[int, ...],
+        target_group: Optional[int],
+    ) -> tuple[GroupExpression, int]:
+        resolved = tuple(self.find(c) for c in child_ids)
+        fingerprint = (expr.op.key(), resolved)
+        existing = self._dedup.get(fingerprint)
+        if existing is not None:
+            home = self.find(existing.group_id)
+            if target_group is not None and self.find(target_group) != home:
+                self.merge(target_group, home)
+            return existing, self.find(existing.group_id)
+        if target_group is None:
+            group = self._new_group(expr)
+        else:
+            group = self.groups[self.find(target_group)]
+        gexpr = GroupExpression(self._next_gexpr_id, expr.op, resolved)
+        self._next_gexpr_id += 1
+        gexpr.group_id = group.id
+        group.gexprs.append(gexpr)
+        self._dedup[fingerprint] = gexpr
+        self._gexpr_by_id[gexpr.id] = gexpr
+        # New logical expressions invalidate exploration fixpoints.
+        if expr.op.is_logical:
+            group.explored = False
+            group.implemented = False
+        return gexpr, group.id
+
+    def insert_enforcer(self, group_id: int, op: Operator) -> Optional[GroupExpression]:
+        """Add an enforcer gexpr whose only child is its own group.
+
+        Returns the new gexpr, or None if an identical enforcer exists.
+        """
+        group = self.groups[self.find(group_id)]
+        key = op.key()
+        if key in group._enforcer_keys:
+            for gexpr in group.gexprs:
+                if gexpr.op.key() == key:
+                    return gexpr
+            return None
+        group._enforcer_keys.add(key)
+        gexpr = GroupExpression(self._next_gexpr_id, op, (group.id,))
+        self._next_gexpr_id += 1
+        gexpr.group_id = group.id
+        gexpr.explored = True
+        gexpr.implemented = True
+        group.gexprs.append(gexpr)
+        self._gexpr_by_id[gexpr.id] = gexpr
+        return gexpr
+
+    def _new_group(self, expr: Expression) -> Group:
+        group = Group(len(self.groups), expr.output_columns())
+        self.groups.append(group)
+        self._parent.append(group.id)
+        return group
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def merge(self, a: int, b: int) -> int:
+        """Merge two groups proven logically equivalent; returns the winner."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        winner, loser = (ra, rb) if ra < rb else (rb, ra)
+        self._parent[loser] = winner
+        wgroup, lgroup = self.groups[winner], self.groups[loser]
+        for gexpr in lgroup.gexprs:
+            gexpr.group_id = winner
+            wgroup.gexprs.append(gexpr)
+        wgroup._enforcer_keys |= lgroup._enforcer_keys
+        lgroup.gexprs = []
+        wgroup.explored = False
+        wgroup.implemented = False
+        if wgroup.stats is None:
+            wgroup.stats = lgroup.stats
+        self._rehash()
+        if self.root is not None:
+            self.root = self.find(self.root)
+        return winner
+
+    def _rehash(self) -> None:
+        """Rebuild duplicate detection after a merge; drop duplicates."""
+        self._dedup = {}
+        for group in self.live_groups():
+            kept: list[GroupExpression] = []
+            for gexpr in group.gexprs:
+                if gexpr.op.is_enforcer:
+                    kept.append(gexpr)
+                    continue
+                gexpr.child_groups = tuple(
+                    self.find(c) for c in gexpr.child_groups
+                )
+                fingerprint = (gexpr.op.key(), gexpr.child_groups)
+                survivor = self._dedup.get(fingerprint)
+                if survivor is None:
+                    self._dedup[fingerprint] = gexpr
+                    kept.append(gexpr)
+                else:
+                    # Keep the survivor's accumulated state richer.
+                    survivor.applied_rules |= gexpr.applied_rules
+            group.gexprs = kept
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def root_group(self) -> Group:
+        if self.root is None:
+            raise OptimizerError("memo has no root group")
+        return self.groups[self.find(self.root)]
+
+    def set_root(self, group_id: int) -> None:
+        self.root = self.find(group_id)
+
+    def num_groups(self) -> int:
+        return len(self.live_groups())
+
+    def num_gexprs(self) -> int:
+        return sum(len(g.gexprs) for g in self.live_groups())
+
+    def all_gexprs(self) -> Iterable[GroupExpression]:
+        for group in self.live_groups():
+            yield from group.gexprs
+
+    def dump(self) -> str:
+        """Human-readable Memo listing, like Figure 6."""
+        lines = []
+        root = self.find(self.root) if self.root is not None else None
+        for group in self.live_groups():
+            tag = " (root)" if group.id == root else ""
+            lines.append(f"GROUP {group.id}{tag}:")
+            for gexpr in group.gexprs:
+                lines.append(f"  {gexpr!r}")
+            for ctx in group.contexts.values():
+                if ctx.has_plan():
+                    lines.append(
+                        f"  req {ctx.req!r} -> best gexpr {ctx.best_gexpr_id} "
+                        f"cost {ctx.best_cost:.1f}"
+                    )
+        return "\n".join(lines)

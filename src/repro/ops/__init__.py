@@ -1,0 +1,49 @@
+"""Operators and expression trees.
+
+The paper represents "all elements of a query and its optimization as
+first-class citizens of equal footing" (Section 1, Extensibility).  This
+package defines those citizens: scalar expressions (:mod:`repro.ops.scalar`),
+logical operators (:mod:`repro.ops.logical`), physical operators
+(:mod:`repro.ops.physical`) and the generic expression tree
+(:mod:`repro.ops.expression`) that is copied into the Memo.
+"""
+
+from repro.ops.scalar import (
+    AggFunc,
+    Arith,
+    BoolExpr,
+    CaseExpr,
+    ColRef,
+    ColRefExpr,
+    ColumnFactory,
+    Comparison,
+    InList,
+    IsNull,
+    LikeExpr,
+    Literal,
+    ScalarExpr,
+    WindowFunc,
+    conjuncts,
+    make_conj,
+)
+from repro.ops.expression import Expression
+
+__all__ = [
+    "AggFunc",
+    "Arith",
+    "BoolExpr",
+    "CaseExpr",
+    "ColRef",
+    "ColRefExpr",
+    "ColumnFactory",
+    "Comparison",
+    "InList",
+    "IsNull",
+    "LikeExpr",
+    "Literal",
+    "ScalarExpr",
+    "WindowFunc",
+    "conjuncts",
+    "make_conj",
+    "Expression",
+]

@@ -1,0 +1,181 @@
+"""Orca: the top-level optimizer facade.
+
+Wires the full workflow of Section 4.1 together: SQL -> logical expression
+(Query2DXL role) -> preprocessing -> Memo copy-in -> exploration /
+statistics derivation / implementation / optimization (via the job
+scheduler) -> plan extraction.  Shared CTE producers are optimized first,
+in their own Memos, and attached during extraction (Section 7.2.2,
+Common Expressions).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.catalog.database import Database
+from repro.config import OptimizerConfig
+from repro.cost.model import CostModel, CostParams
+from repro.gpos.memory import deep_sizeof
+from repro.memo.memo import Memo
+from repro.ops.physical import PhysicalCTEProducer
+from repro.ops.scalar import ColRef, ColumnFactory
+from repro.props.distribution import ANY_DIST, SINGLETON
+from repro.props.order import OrderSpec, SortKey
+from repro.props.required import RequiredProps
+from repro.search.engine import SearchEngine
+from repro.search.plan import PlanNode
+from repro.sql.ast import SelectStmt
+from repro.sql.parser import parse
+from repro.sql.translator import TranslatedQuery, Translator
+from repro.xforms.normalization import preprocess
+
+
+@dataclass
+class OptimizationResult:
+    """Everything an optimization session produced."""
+
+    plan: PlanNode
+    output_cols: list[ColRef]
+    output_names: list[str]
+    query: TranslatedQuery
+    memo: Memo
+    num_groups: int = 0
+    num_gexprs: int = 0
+    jobs_executed: int = 0
+    xform_count: int = 0
+    kind_counts: dict[str, int] = field(default_factory=dict)
+    opt_time_seconds: float = 0.0
+    memory_bytes: int = 0
+    job_log: list = field(default_factory=list)
+    #: Confidence score of the root cardinality estimate (Section 4.1's
+    #: open problem, implemented as multiplicative damping; see
+    #: repro.stats.derivation).
+    stats_confidence: float = 1.0
+
+    def explain(self) -> str:
+        return self.plan.explain()
+
+
+class Orca:
+    """The optimizer (Figure 3): give it SQL, get a costed physical plan."""
+
+    def __init__(
+        self,
+        catalog: Database,
+        config: Optional[OptimizerConfig] = None,
+        cost_params: Optional[CostParams] = None,
+    ):
+        self.catalog = catalog
+        self.config = config or OptimizerConfig()
+        self.cost_params = cost_params
+
+    # ------------------------------------------------------------------
+    def optimize(self, sql_or_stmt: Union[str, SelectStmt]) -> OptimizationResult:
+        """Optimize one SQL statement end to end."""
+        start = time.perf_counter()
+        stmt = parse(sql_or_stmt) if isinstance(sql_or_stmt, str) else sql_or_stmt
+        factory = ColumnFactory()
+        translator = Translator(
+            self.catalog, factory, share_ctes=self.config.enable_cte_sharing
+        )
+        query = translator.translate(stmt)
+        result = self.optimize_translated(query, factory)
+        result.opt_time_seconds = time.perf_counter() - start
+        return result
+
+    def optimize_translated(
+        self, query: TranslatedQuery, factory: ColumnFactory
+    ) -> OptimizationResult:
+        """Optimize an already-translated query."""
+        cost_model = CostModel(self.cost_params, segments=self.config.segments)
+        cte_delivered: dict[int, object] = {}
+        cte_producer_cols: dict[int, tuple] = {}
+        cte_stats: dict[int, tuple] = {}
+        cte_plans: dict[int, PlanNode] = {}
+        total_jobs = 0
+        total_xforms = 0
+        kind_counts: dict[str, int] = {}
+        job_log: list = []
+        memory = 0
+
+        # 1. Optimize shared CTE producers first, in dependency order.
+        for cte in query.cte_defs:
+            tree = preprocess(
+                cte.tree, self.config, self.catalog.stats, factory
+            )
+            memo = Memo()
+            memo.set_root(memo.insert(tree))
+            engine = SearchEngine(
+                memo, self.config, factory, self.catalog.stats,
+                cost_model, cte_stats=dict(cte_stats),
+            )
+            engine.rule_ctx.cte_delivered = cte_delivered
+            engine.rule_ctx.cte_producer_cols = cte_producer_cols
+            engine.cte_plans = cte_plans
+            plan = engine.optimize(RequiredProps(ANY_DIST))
+            producer_plan = PlanNode(
+                op=PhysicalCTEProducer(cte.cte_id, cte.output_cols),
+                children=[plan],
+                output_cols=list(cte.output_cols),
+                rows_estimate=plan.rows_estimate,
+                cost=plan.cost,
+                delivered=plan.delivered,
+            )
+            cte_plans[cte.cte_id] = producer_plan
+            cte_delivered[cte.cte_id] = plan.delivered.dist
+            cte_producer_cols[cte.cte_id] = tuple(cte.output_cols)
+            cte_stats[cte.cte_id] = (
+                memo.root_group().stats, tuple(cte.output_cols)
+            )
+            total_jobs += engine.jobs_executed
+            total_xforms += engine.xform_count
+            job_log.extend(engine.job_log)
+            for kind, count in engine.kind_counts.items():
+                kind_counts[kind] = kind_counts.get(kind, 0) + count
+            memory += deep_sizeof(memo)
+
+        # 2. Optimize the main tree.
+        tree = preprocess(query.tree, self.config, self.catalog.stats, factory)
+        memo = Memo()
+        memo.set_root(memo.insert(tree))
+        engine = SearchEngine(
+            memo, self.config, factory, self.catalog.stats,
+            cost_model, cte_stats=cte_stats,
+        )
+        engine.rule_ctx.cte_delivered = cte_delivered
+        engine.rule_ctx.cte_producer_cols = cte_producer_cols
+        engine.cte_plans = cte_plans
+        req = RequiredProps(
+            SINGLETON,
+            OrderSpec(
+                tuple(SortKey(c.id, asc) for c, asc in query.required_sort)
+            ),
+        )
+        plan = engine.optimize(req)
+        total_jobs += engine.jobs_executed
+        total_xforms += engine.xform_count
+        job_log.extend(engine.job_log)
+        for kind, count in engine.kind_counts.items():
+            kind_counts[kind] = kind_counts.get(kind, 0) + count
+        memory += deep_sizeof(memo)
+
+        root_stats = memo.root_group().stats
+        return OptimizationResult(
+            plan=plan,
+            stats_confidence=(
+                root_stats.confidence if root_stats is not None else 1.0
+            ),
+            output_cols=query.output_cols,
+            output_names=query.output_names,
+            query=query,
+            memo=memo,
+            num_groups=memo.num_groups(),
+            num_gexprs=memo.num_gexprs(),
+            jobs_executed=total_jobs,
+            xform_count=total_xforms,
+            kind_counts=kind_counts,
+            memory_bytes=memory,
+            job_log=job_log,
+        )

@@ -1,0 +1,12 @@
+"""The legacy Planner baseline (Section 7.2).
+
+A bottom-up, single-pass optimizer that "inherits part of its design from
+the PostgreSQL optimizer": syntactic join order, heuristic motion
+placement, correlated execution of subqueries, static-only partition
+elimination and CTE inlining.  It produces plans for the same simulated
+executor, which is what makes the Figure 12 comparison apples-to-apples.
+"""
+
+from repro.planner.planner import LegacyPlanner, PlannerResult
+
+__all__ = ["LegacyPlanner", "PlannerResult"]

@@ -1,0 +1,418 @@
+"""The legacy Planner: heuristic bottom-up plan construction.
+
+Feature deltas against Orca, mirroring what Section 7.2.2 credits for
+Orca's wins:
+
+- **join ordering**: joins are planned in the syntactic order of the
+  query, with a broadcast-vs-redistribute heuristic driven by crude
+  NDV-based cardinalities (no histograms);
+- **correlated subqueries**: Apply operators become correlated nested
+  loops, re-executing the subquery per outer row;
+- **partition elimination**: static pruning only — no runtime partition
+  selection;
+- **common expressions**: WITH is always inlined (the translator is run
+  with ``share_ctes=False``), so multiply-referenced CTEs are recomputed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.catalog.database import Database
+from repro.catalog.schema import DistributionPolicy
+from repro.config import OptimizerConfig
+from repro.errors import OptimizerError
+from repro.ops import physical as ph
+from repro.ops.expression import Expression
+from repro.ops.logical import (
+    AggStage,
+    ApplyKind,
+    JoinKind,
+    LogicalApply,
+    LogicalCTEAnchor,
+    LogicalGbAgg,
+    LogicalGet,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalProject,
+    LogicalSelect,
+    LogicalUnionAll,
+    LogicalWindow,
+)
+from repro.ops.scalar import (
+    ColRef,
+    ColRefExpr,
+    Comparison,
+    conjuncts,
+    equi_join_pairs,
+    make_conj,
+)
+from repro.props.distribution import (
+    DistributionSpec,
+    HashedDist,
+    RANDOM,
+    REPLICATED,
+    ReplicatedDist,
+    SINGLETON,
+    SingletonDist,
+)
+from repro.props.order import ANY_ORDER, OrderSpec, SortKey
+from repro.props.required import DerivedProps
+from repro.search.plan import PlanNode
+from repro.sql.ast import SelectStmt
+from repro.sql.parser import parse
+from repro.sql.translator import TranslatedQuery, Translator
+from repro.xforms.normalization import (
+    push_down_predicates,
+    static_partition_elimination,
+)
+
+#: PostgreSQL-style default selectivities (no histograms in the Planner).
+EQ_SEL = 0.005
+RANGE_SEL = 0.33
+BROADCAST_RATIO = 4.0
+
+
+@dataclass
+class PlannerResult:
+    plan: PlanNode
+    output_cols: list[ColRef]
+    output_names: list[str]
+    query: TranslatedQuery
+    opt_time_seconds: float = 0.0
+
+    def explain(self) -> str:
+        return self.plan.explain()
+
+
+class LegacyPlanner:
+    """Plans queries bottom-up with fixed heuristics."""
+
+    def __init__(
+        self,
+        catalog: Database,
+        config: Optional[OptimizerConfig] = None,
+        join_strategy: str = "heuristic",
+    ):
+        """``join_strategy``:
+
+        - ``'heuristic'``: broadcast-vs-redistribute by crude row counts
+          (the GPDB legacy Planner);
+        - ``'broadcast'``: always broadcast the inner side, regardless of
+          size (stats-less engines like Impala 1.x default to broadcast
+          joins — Section 7.3.2's join-order discussion).
+        """
+        self.catalog = catalog
+        self.config = config or OptimizerConfig()
+        if join_strategy not in ("heuristic", "broadcast"):
+            raise OptimizerError(f"unknown join strategy {join_strategy!r}")
+        self.join_strategy = join_strategy
+
+    # ------------------------------------------------------------------
+    def optimize(self, sql_or_stmt: Union[str, SelectStmt]) -> PlannerResult:
+        start = time.perf_counter()
+        stmt = parse(sql_or_stmt) if isinstance(sql_or_stmt, str) else sql_or_stmt
+        translator = Translator(self.catalog, share_ctes=False)
+        query = translator.translate(stmt)
+        tree = push_down_predicates(query.tree)
+        tree = static_partition_elimination(tree)
+        plan = self._plan(tree)
+        plan = self._enforce_root(plan, query)
+        result = PlannerResult(
+            plan=plan,
+            output_cols=query.output_cols,
+            output_names=query.output_names,
+            query=query,
+            opt_time_seconds=time.perf_counter() - start,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+    def _plan(self, expr: Expression) -> PlanNode:
+        op = expr.op
+        if isinstance(op, LogicalGet):
+            return self._plan_get(op)
+        if isinstance(op, LogicalSelect):
+            child = self._plan(expr.children[0])
+            return self._node(
+                ph.PhysicalFilter(op.predicate), [child],
+                rows=child.rows_estimate * self._pred_selectivity(op.predicate),
+                delivered=child.delivered,
+            )
+        if isinstance(op, LogicalProject):
+            child = self._plan(expr.children[0])
+            return self._node(
+                ph.PhysicalProject(op.projections), [child],
+                rows=child.rows_estimate, delivered=child.delivered,
+            )
+        if isinstance(op, LogicalJoin):
+            return self._plan_join(op, expr)
+        if isinstance(op, LogicalApply):
+            return self._plan_apply(op, expr)
+        if isinstance(op, LogicalGbAgg):
+            return self._plan_agg(op, expr)
+        if isinstance(op, LogicalLimit):
+            return self._plan_limit(op, expr)
+        if isinstance(op, LogicalUnionAll):
+            children = [self._plan(c) for c in expr.children]
+            children = [self._departition(c) for c in children]
+            rows = sum(c.rows_estimate for c in children)
+            return self._node(
+                ph.PhysicalAppend(op.output_cols, op.input_cols), children,
+                rows=rows, delivered=DerivedProps(RANDOM),
+            )
+        if isinstance(op, LogicalWindow):
+            return self._plan_window(op, expr)
+        if isinstance(op, LogicalCTEAnchor):
+            # share_ctes=False means anchors never appear; be permissive.
+            return self._plan(expr.children[0])
+        raise OptimizerError(f"planner cannot handle {op!r}")
+
+    def _node(
+        self, op, children, rows: float, delivered: DerivedProps
+    ) -> PlanNode:
+        cols = op.derive_output_columns([c.output_cols for c in children])
+        return PlanNode(
+            op=op, children=children, output_cols=cols,
+            rows_estimate=max(rows, 0.0), delivered=delivered,
+        )
+
+    def _plan_get(self, op: LogicalGet) -> PlanNode:
+        stats = self.catalog.stats(op.table.name)
+        rows = stats.row_count if stats is not None else 1000.0
+        if op.partitions is not None and op.table.partitioning is not None:
+            rows *= len(op.partitions) / max(op.table.num_partitions(), 1)
+        scan = ph.PhysicalTableScan(op.table, op.columns, op.alias, op.partitions)
+        return PlanNode(
+            op=scan, children=[], output_cols=list(op.columns),
+            rows_estimate=rows, delivered=DerivedProps(scan.table_dist()),
+        )
+
+    # ------------------------------------------------------------------
+    def _plan_join(self, op: LogicalJoin, expr: Expression) -> PlanNode:
+        left = self._plan(expr.children[0])
+        right = self._plan(expr.children[1])
+        left_ids = frozenset(c.id for c in left.output_cols)
+        right_ids = frozenset(c.id for c in right.output_cols)
+        pairs = equi_join_pairs(op.condition, left_ids, right_ids)
+        rows = self._join_rows(op, left, right, pairs)
+        if not pairs:
+            # Non-equi or cross join: broadcast the inner side.
+            right_b = self._broadcast(right)
+            delivered = DerivedProps(
+                left.delivered.dist
+                if not isinstance(left.delivered.dist, ReplicatedDist)
+                else RANDOM,
+                left.delivered.order,
+            )
+            return self._node(
+                ph.PhysicalNLJoin(op.kind, op.condition), [left, right_b],
+                rows=rows, delivered=delivered,
+            )
+        lkeys = [l for l, _r in pairs]
+        rkeys = [r for _l, r in pairs]
+        residual = self._residual(op.condition, pairs)
+        colocated = self._is_colocated(left, right, lkeys, rkeys)
+        if colocated:
+            pass  # join in place
+        elif self.join_strategy == "broadcast":
+            right = self._broadcast(right)
+        elif right.rows_estimate * BROADCAST_RATIO < left.rows_estimate:
+            right = self._broadcast(right)
+        else:
+            left = self._motion_hashed(left, lkeys)
+            right = self._motion_hashed(right, rkeys)
+        delivered_dist = left.delivered.dist
+        if isinstance(delivered_dist, ReplicatedDist):
+            delivered_dist = right.delivered.dist
+        return self._node(
+            ph.PhysicalHashJoin(op.kind, lkeys, rkeys, residual),
+            [left, right], rows=rows, delivered=DerivedProps(delivered_dist),
+        )
+
+    @staticmethod
+    def _residual(condition, pairs):
+        pair_keys = set()
+        for l, r in pairs:
+            pair_keys.add(("cmp", "=", ColRefExpr(l).key(), ColRefExpr(r).key()))
+            pair_keys.add(("cmp", "=", ColRefExpr(r).key(), ColRefExpr(l).key()))
+        return make_conj(
+            c for c in conjuncts(condition) if c.key() not in pair_keys
+        )
+
+    def _is_colocated(self, left, right, lkeys, rkeys) -> bool:
+        ld, rd = left.delivered.dist, right.delivered.dist
+        if not (isinstance(ld, HashedDist) and isinstance(rd, HashedDist)):
+            return False
+        pair_map = {l.id: r.id for l, r in zip(lkeys, rkeys)}
+        if len(ld.columns) != len(rd.columns):
+            return False
+        lkey_ids = {l.id for l in lkeys}
+        if not set(ld.columns) <= lkey_ids:
+            return False
+        return tuple(pair_map.get(c) for c in ld.columns) == rd.columns
+
+    def _join_rows(self, op, left, right, pairs) -> float:
+        cross = left.rows_estimate * right.rows_estimate
+        sel = EQ_SEL if pairs else RANGE_SEL
+        # NDV-free estimation: the classic 1/max(distinct) guess replaced
+        # by a magic constant, as pre-histogram planners did.
+        stats_l = self.catalog.stats  # unused; planner stays crude
+        inner = cross * sel if pairs else cross * sel
+        if op.kind is JoinKind.INNER:
+            return inner
+        if op.kind is JoinKind.LEFT:
+            return max(inner, left.rows_estimate)
+        if op.kind is JoinKind.SEMI:
+            return left.rows_estimate * 0.5
+        return left.rows_estimate * 0.5
+
+    # ------------------------------------------------------------------
+    def _plan_apply(self, op: LogicalApply, expr: Expression) -> PlanNode:
+        outer = self._plan(expr.children[0])
+        inner = self._plan(expr.children[1])
+        inner = self._broadcast(inner)
+        inner_cols = expr.children[1].output_columns()
+        if op.kind is ApplyKind.SCALAR:
+            rows = outer.rows_estimate
+        else:
+            rows = outer.rows_estimate * 0.5
+        return self._node(
+            ph.PhysicalCorrelatedNLJoin(op.kind, op.outer_refs, inner_cols),
+            [outer, inner], rows=rows, delivered=outer.delivered,
+        )
+
+    # ------------------------------------------------------------------
+    def _plan_agg(self, op: LogicalGbAgg, expr: Expression) -> PlanNode:
+        child = self._plan(expr.children[0])
+        if not op.group_cols:
+            # Scalar aggregation: gather everything to the master.
+            child = self._gather(child)
+            return self._node(
+                ph.PhysicalHashAgg(op.group_cols, op.aggs, AggStage.GLOBAL),
+                [child], rows=1.0, delivered=DerivedProps(SINGLETON),
+            )
+        dist = child.delivered.dist
+        group_ids = {c.id for c in op.group_cols}
+        aligned = isinstance(dist, HashedDist) and set(dist.columns) <= group_ids
+        if not aligned and not isinstance(dist, (SingletonDist, ReplicatedDist)):
+            child = self._motion_hashed(child, list(op.group_cols))
+        rows = max(child.rows_estimate / 10.0, 1.0)
+        return self._node(
+            ph.PhysicalHashAgg(op.group_cols, op.aggs, AggStage.GLOBAL),
+            [child], rows=rows, delivered=child.delivered,
+        )
+
+    # ------------------------------------------------------------------
+    def _plan_limit(self, op: LogicalLimit, expr: Expression) -> PlanNode:
+        child = self._plan(expr.children[0])
+        child = self._gather(child)
+        order = OrderSpec(tuple(SortKey(c.id, asc) for c, asc in op.sort_keys))
+        if not order.is_empty():
+            child = self._node(
+                ph.PhysicalSort(order), [child], rows=child.rows_estimate,
+                delivered=DerivedProps(SINGLETON, order),
+            )
+        rows = min(child.rows_estimate, float(op.limit or child.rows_estimate))
+        return self._node(
+            ph.PhysicalLimit(op.sort_keys, op.limit, op.offset), [child],
+            rows=rows, delivered=DerivedProps(SINGLETON, order),
+        )
+
+    # ------------------------------------------------------------------
+    def _plan_window(self, op: LogicalWindow, expr: Expression) -> PlanNode:
+        child = self._plan(expr.children[0])
+        spec = op.funcs[0][0]
+        keys = [SortKey(c.id) for c in spec.partition_by]
+        keys += [SortKey(c.id, asc) for c, asc in spec.order_by]
+        order = OrderSpec(tuple(keys))
+        if spec.partition_by:
+            dist = child.delivered.dist
+            aligned = isinstance(dist, HashedDist) and set(dist.columns) <= {
+                c.id for c in spec.partition_by
+            }
+            if not aligned:
+                child = self._motion_hashed(child, list(spec.partition_by))
+        else:
+            child = self._gather(child)
+        child = self._node(
+            ph.PhysicalSort(order), [child], rows=child.rows_estimate,
+            delivered=DerivedProps(child.delivered.dist, order),
+        )
+        return self._node(
+            ph.PhysicalWindow(op.funcs), [child], rows=child.rows_estimate,
+            delivered=child.delivered,
+        )
+
+    # ------------------------------------------------------------------
+    # Motions
+    # ------------------------------------------------------------------
+    def _gather(self, child: PlanNode) -> PlanNode:
+        if isinstance(child.delivered.dist, SingletonDist):
+            return child
+        return self._node(
+            ph.PhysicalGather(), [child], rows=child.rows_estimate,
+            delivered=DerivedProps(SINGLETON),
+        )
+
+    def _broadcast(self, child: PlanNode) -> PlanNode:
+        if isinstance(child.delivered.dist, ReplicatedDist):
+            return child
+        return self._node(
+            ph.PhysicalBroadcast(), [child], rows=child.rows_estimate,
+            delivered=DerivedProps(REPLICATED),
+        )
+
+    def _motion_hashed(self, child: PlanNode, keys: list[ColRef]) -> PlanNode:
+        dist = child.delivered.dist
+        if isinstance(dist, HashedDist) and dist.columns == tuple(
+            k.id for k in keys
+        ):
+            return child
+        return self._node(
+            ph.PhysicalRedistribute(keys), [child], rows=child.rows_estimate,
+            delivered=DerivedProps(HashedDist.on(keys)),
+        )
+
+    def _departition(self, child: PlanNode) -> PlanNode:
+        if isinstance(child.delivered.dist, SingletonDist):
+            return child
+        return child
+
+    # ------------------------------------------------------------------
+    def _enforce_root(self, plan: PlanNode, query: TranslatedQuery) -> PlanNode:
+        order = OrderSpec(
+            tuple(SortKey(c.id, asc) for c, asc in query.required_sort)
+        )
+        if not isinstance(plan.delivered.dist, SingletonDist):
+            if not order.is_empty():
+                if plan.delivered.order.satisfies(order):
+                    plan = self._node(
+                        ph.PhysicalGatherMerge(order), [plan],
+                        rows=plan.rows_estimate,
+                        delivered=DerivedProps(SINGLETON, order),
+                    )
+                else:
+                    plan = self._gather(plan)
+            else:
+                plan = self._gather(plan)
+        if not order.is_empty() and not plan.delivered.order.satisfies(order):
+            plan = self._node(
+                ph.PhysicalSort(order), [plan], rows=plan.rows_estimate,
+                delivered=DerivedProps(SINGLETON, order),
+            )
+        return plan
+
+    # ------------------------------------------------------------------
+    def _pred_selectivity(self, pred) -> float:
+        sel = 1.0
+        for conj in conjuncts(pred):
+            if isinstance(conj, Comparison) and conj.op == "=":
+                sel *= EQ_SEL * 20  # equality on a literal
+            else:
+                sel *= RANGE_SEL
+        return sel

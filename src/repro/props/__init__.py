@@ -1,0 +1,41 @@
+"""Property framework: logical, physical and scalar plan properties.
+
+Section 3 of the paper describes an extensible framework of formal property
+specifications: logical properties (output columns), physical properties
+(sort order, data distribution) and scalar properties (columns used in join
+conditions).  Required properties flow down during optimization; delivered
+properties flow up; enforcers bridge the gap (Section 4.1, Figures 6-7).
+"""
+
+from repro.props.distribution import (
+    AnyDist,
+    DistributionSpec,
+    HashedDist,
+    ReplicatedDist,
+    RandomDist,
+    SingletonDist,
+    ANY_DIST,
+    REPLICATED,
+    RANDOM,
+    SINGLETON,
+)
+from repro.props.order import OrderSpec, SortKey, ANY_ORDER
+from repro.props.required import RequiredProps, DerivedProps
+
+__all__ = [
+    "AnyDist",
+    "DistributionSpec",
+    "HashedDist",
+    "ReplicatedDist",
+    "RandomDist",
+    "SingletonDist",
+    "ANY_DIST",
+    "REPLICATED",
+    "RANDOM",
+    "SINGLETON",
+    "OrderSpec",
+    "SortKey",
+    "ANY_ORDER",
+    "RequiredProps",
+    "DerivedProps",
+]

@@ -1,0 +1,6 @@
+"""The search engine: optimization jobs, plan extraction, staging."""
+
+from repro.search.plan import PlanNode
+from repro.search.engine import SearchEngine
+
+__all__ = ["PlanNode", "SearchEngine"]

@@ -1,0 +1,171 @@
+"""The search engine: stages, job orchestration and plan costing.
+
+Drives the optimization workflow of Section 4.1 over the Memo using the
+job scheduler of Section 4.2, honoring the multi-stage specification of
+the optimizer configuration (rule subsets with optional job budgets and
+cost thresholds).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.config import OptimizerConfig
+from repro.cost.model import CostModel
+from repro.errors import NoPlanError
+from repro.gpos.scheduler import JobRecord, JobScheduler
+from repro.memo.context import PlanInfo
+from repro.memo.memo import GroupExpression, Memo
+from repro.ops.scalar import ColumnFactory
+from repro.props.required import RequiredProps
+from repro.search.extractor import extract_plan
+from repro.search.jobs import JobGroupOptimize
+from repro.search.plan import PlanNode
+from repro.stats.derivation import StatsDeriver
+from repro.xforms.registry import default_rule_set
+from repro.xforms.rule import RuleContext
+
+
+class SearchEngine:
+    """Optimizes one Memo end to end."""
+
+    def __init__(
+        self,
+        memo: Memo,
+        config: OptimizerConfig,
+        column_factory: ColumnFactory,
+        table_stats: Callable,
+        cost_model: Optional[CostModel] = None,
+        cte_stats: Optional[dict] = None,
+    ):
+        self.memo = memo
+        self.config = config
+        self.column_factory = column_factory
+        self.cost_model = cost_model or CostModel(segments=config.segments)
+        self.deriver = StatsDeriver(memo, config, table_stats, cte_stats)
+        self.rule_ctx = RuleContext(
+            memo=memo,
+            config=config,
+            column_factory=column_factory,
+            table_stats=table_stats,
+        )
+        self.exploration_rules = []
+        self.implementation_rules = []
+        self.xform_count = 0
+        #: Optimization stage counter; per-expression plan caches from an
+        #: earlier epoch are recomputed (child groups may have improved).
+        self.epoch = 0
+        self.job_log: list[JobRecord] = []
+        self.jobs_executed = 0
+        self.kind_counts: dict[str, int] = {}
+        #: cte_id -> optimized producer PlanNode (attached at extraction).
+        self.cte_plans: dict[int, PlanNode] = {}
+
+    # ------------------------------------------------------------------
+    def optimize(self, req: RequiredProps) -> PlanNode:
+        """Run all configured stages and extract the best plan."""
+        root = self.memo.root
+        assert root is not None, "memo root not set"
+        for stage in self.config.stages:
+            self._run_stage(req, stage.rules, stage.timeout_jobs)
+            if stage.cost_threshold is not None:
+                cost = self.best_cost(req)
+                if cost is not None and cost <= stage.cost_threshold:
+                    break
+        if self.best_cost(req) is None:
+            # Safety net: a final unbounded stage with every enabled rule,
+            # guaranteeing a plan when earlier stage budgets cut search off.
+            self._run_stage(req, None, None)
+        return self.extract(req)
+
+    def best_cost(self, req: RequiredProps) -> Optional[float]:
+        group = self.memo.root_group()
+        ctx = group.existing_context(req)
+        if ctx is not None and ctx.has_plan():
+            return ctx.best_cost
+        return None
+
+    def extract(self, req: RequiredProps) -> PlanNode:
+        return extract_plan(
+            self.memo, self.memo.root, req, self.cte_plans
+        )
+
+    # ------------------------------------------------------------------
+    def _run_stage(
+        self,
+        req: RequiredProps,
+        stage_rules: Optional[frozenset[str]],
+        job_budget: Optional[int],
+    ) -> None:
+        rules = default_rule_set(self.config, stage_rules)
+        self.exploration_rules = [r for r in rules if r.is_exploration]
+        self.implementation_rules = [r for r in rules if r.is_implementation]
+        self.epoch += 1
+        self._reset_fixpoints()
+        scheduler = JobScheduler(workers=self.config.workers)
+        scheduler.run(
+            JobGroupOptimize(self, self.memo.root, req), job_budget=job_budget
+        )
+        self.job_log.extend(scheduler.job_log)
+        self.jobs_executed += scheduler.jobs_executed
+        for kind, count in scheduler.kind_counts.items():
+            self.kind_counts[kind] = self.kind_counts.get(kind, 0) + count
+
+    def _reset_fixpoints(self) -> None:
+        """Allow new-stage rules to fire on already-visited expressions."""
+        for group in self.memo.live_groups():
+            group.explored = False
+            group.implemented = False
+            for ctx in group.contexts.values():
+                ctx.done = False
+            for gexpr in group.gexprs:
+                if not gexpr.op.is_enforcer:
+                    gexpr.explored = False
+                    gexpr.implemented = False
+
+    # ------------------------------------------------------------------
+    def cost_alternative(
+        self,
+        gexpr: GroupExpression,
+        req: RequiredProps,
+        alt: tuple[RequiredProps, ...],
+    ) -> Optional[PlanInfo]:
+        """Cost one child-request alternative of a group expression.
+
+        Returns None when any child lacks a plan, the delivered property
+        combination is invalid, or the result does not satisfy ``req``.
+        """
+        memo = self.memo
+        child_delivered = []
+        child_costs = []
+        child_stats = []
+        for child_group_id, child_req in zip(gexpr.child_groups, alt):
+            child_group = memo.group(child_group_id)
+            ctx = child_group.existing_context(child_req)
+            if ctx is None or not ctx.has_plan():
+                return None
+            best_gexpr = memo.gexpr(ctx.best_gexpr_id)
+            info = best_gexpr.plan_for(child_req)
+            if info is None:
+                return None
+            child_delivered.append(info.delivered)
+            child_costs.append(ctx.best_cost)
+            child_stats.append(self.deriver.derive(child_group_id))
+        delivered = gexpr.op.derive_delivered(child_delivered)
+        if delivered is None or not delivered.satisfies(req):
+            return None
+        stats = self.deriver.derive(gexpr.group_id)
+        local = self.cost_model.local_cost(
+            gexpr.op, stats, child_stats, child_delivered, child_costs, delivered
+        )
+        total = local + sum(child_costs)
+        if not math.isfinite(total):
+            return None
+        return PlanInfo(
+            cost=total,
+            child_reqs=tuple(alt),
+            delivered=delivered,
+            local_cost=local,
+            epoch=self.epoch,
+        )

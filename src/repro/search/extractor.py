@@ -1,0 +1,54 @@
+"""Plan extraction from the Memo (Section 4.1, Figure 6).
+
+Extraction follows the linkage structure given by optimization requests:
+look up the best group expression for the request in the group hash table,
+then follow its local hash table to the child requests, recursively.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import NoPlanError
+from repro.memo.memo import Memo
+from repro.ops.physical import PhysicalSequence
+from repro.props.required import RequiredProps
+from repro.search.plan import PlanNode
+
+
+def extract_plan(
+    memo: Memo,
+    group_id: int,
+    req: RequiredProps,
+    cte_plans: Optional[dict[int, PlanNode]] = None,
+) -> PlanNode:
+    """Extract the best plan for (group, request) from the Memo."""
+    group = memo.group(group_id)
+    ctx = group.existing_context(req)
+    if ctx is None or not ctx.has_plan():
+        raise NoPlanError(
+            f"no plan for group {group.id} under request {req!r}"
+        )
+    gexpr = memo.gexpr(ctx.best_gexpr_id)
+    info = gexpr.plan_for(req)
+    if info is None:
+        raise NoPlanError(
+            f"best gexpr {gexpr.id} lost its plan for {req!r}"
+        )
+    children = [
+        extract_plan(memo, child_group, child_req, cte_plans)
+        for child_group, child_req in zip(gexpr.child_groups, info.child_reqs)
+    ]
+    if isinstance(gexpr.op, PhysicalSequence) and cte_plans:
+        producer = cte_plans.get(gexpr.op.cte_id)
+        if producer is not None:
+            children = [producer] + children
+    stats = group.stats
+    return PlanNode(
+        op=gexpr.op,
+        children=children,
+        output_cols=list(group.output_cols),
+        rows_estimate=stats.row_count if stats is not None else 0.0,
+        cost=info.cost,
+        delivered=info.delivered,
+    )

@@ -1,0 +1,283 @@
+"""The seven optimization job kinds (Section 4.2).
+
+- ``Exp(g)`` / ``Exp(gexpr)``: generate logically equivalent expressions
+- ``Imp(g)`` / ``Imp(gexpr)``: generate physical implementations
+- ``Opt(g, req)`` / ``Opt(gexpr, req)``: find the least-cost plan
+  satisfying an optimization request
+- ``Xform(gexpr, t)``: apply one transformation rule
+
+Jobs suspend while their children run and resume when notified; the
+dependency shapes match Figure 8 (optimizing a group optimizes its
+expressions; optimizing an expression optimizes its children's groups;
+exploring an expression first explores its children's groups, then runs
+its exploration rules).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.gpos.scheduler import Job
+from repro.memo.context import PlanInfo
+from repro.memo.memo import GroupExpression
+from repro.ops.physical import (
+    EnforcerOp,
+    PhysicalBroadcast,
+    PhysicalGather,
+    PhysicalGatherMerge,
+    PhysicalRedistribute,
+    PhysicalSort,
+)
+from repro.props.distribution import (
+    HashedDist,
+    ReplicatedDist,
+    SingletonDist,
+)
+from repro.props.required import RequiredProps
+
+if TYPE_CHECKING:
+    from repro.search.engine import SearchEngine
+
+
+class JobGroupExplore(Job):
+    """Exp(g): explore all group expressions in group g to fixpoint."""
+
+    kind = "Exp(g)"
+
+    def __init__(self, engine: "SearchEngine", group_id: int):
+        super().__init__()
+        self.engine = engine
+        self.group_id = engine.memo.find(group_id)
+        self.goal = ("exp-g", self.group_id)
+
+    def step(self, scheduler):
+        group = self.engine.memo.group(self.group_id)
+        pending = [
+            g for g in group.logical_gexprs() if not g.explored
+        ]
+        if not pending:
+            group.explored = True
+            return None
+        return [JobGexprExplore(self.engine, g) for g in pending]
+
+
+class JobGexprExplore(Job):
+    """Exp(gexpr): explore children, then run exploration rules."""
+
+    kind = "Exp(gexpr)"
+
+    def __init__(self, engine: "SearchEngine", gexpr: GroupExpression):
+        super().__init__()
+        self.engine = engine
+        self.gexpr = gexpr
+        self.goal = ("exp-x", gexpr.id)
+
+    def step(self, scheduler):
+        if self._step == 0:
+            self._step = 1
+            children = [
+                JobGroupExplore(self.engine, c) for c in self.gexpr.child_groups
+            ]
+            return children or self.step(scheduler)
+        if self._step == 1:
+            self._step = 2
+            jobs = [
+                JobXform(self.engine, self.gexpr, rule)
+                for rule in self.engine.exploration_rules
+                if rule.name not in self.gexpr.applied_rules
+                and rule.matches(self.gexpr)
+            ]
+            if jobs:
+                return jobs
+        self.gexpr.explored = True
+        return None
+
+
+class JobGroupImplement(Job):
+    """Imp(g): implement all group expressions in group g."""
+
+    kind = "Imp(g)"
+
+    def __init__(self, engine: "SearchEngine", group_id: int):
+        super().__init__()
+        self.engine = engine
+        self.group_id = engine.memo.find(group_id)
+        self.goal = ("imp-g", self.group_id)
+
+    def step(self, scheduler):
+        group = self.engine.memo.group(self.group_id)
+        if self._step == 0:
+            self._step = 1
+            return [JobGroupExplore(self.engine, self.group_id)]
+        pending = [
+            g for g in group.logical_gexprs() if not g.implemented
+        ]
+        if not pending:
+            group.implemented = True
+            return None
+        return [JobGexprImplement(self.engine, g) for g in pending]
+
+
+class JobGexprImplement(Job):
+    """Imp(gexpr): run implementation rules on one expression."""
+
+    kind = "Imp(gexpr)"
+
+    def __init__(self, engine: "SearchEngine", gexpr: GroupExpression):
+        super().__init__()
+        self.engine = engine
+        self.gexpr = gexpr
+        self.goal = ("imp-x", gexpr.id)
+
+    def step(self, scheduler):
+        if self._step == 0:
+            self._step = 1
+            jobs = [
+                JobXform(self.engine, self.gexpr, rule)
+                for rule in self.engine.implementation_rules
+                if rule.name not in self.gexpr.applied_rules
+                and rule.matches(self.gexpr)
+            ]
+            if jobs:
+                return jobs
+        self.gexpr.implemented = True
+        return None
+
+
+class JobXform(Job):
+    """Xform(gexpr, t): apply rule t and copy results into the Memo."""
+
+    kind = "Xform"
+
+    def __init__(self, engine: "SearchEngine", gexpr: GroupExpression, rule):
+        super().__init__()
+        self.engine = engine
+        self.gexpr = gexpr
+        self.rule = rule
+        self.goal = ("xform", gexpr.id, rule.name)
+
+    def step(self, scheduler):
+        if self.rule.name in self.gexpr.applied_rules:
+            return None
+        self.gexpr.applied_rules.add(self.rule.name)
+        results = self.rule.apply(self.gexpr, self.engine.rule_ctx)
+        group_id = self.engine.memo.find(self.gexpr.group_id)
+        for expr in results:
+            self.engine.memo.insert(expr, target_group=group_id)
+        self.engine.xform_count += 1
+        return None
+
+
+class JobGroupOptimize(Job):
+    """Opt(g, req): least-cost plan rooted in group g satisfying req."""
+
+    kind = "Opt(g,req)"
+
+    def __init__(self, engine: "SearchEngine", group_id: int, req: RequiredProps):
+        super().__init__()
+        self.engine = engine
+        self.group_id = engine.memo.find(group_id)
+        self.req = req
+        self.goal = ("opt-g", self.group_id, req.key())
+
+    def step(self, scheduler):
+        group = self.engine.memo.group(self.group_id)
+        ctx = group.context(self.req)
+        if ctx.done:
+            return None
+        if self._step == 0:
+            self._step = 1
+            return [JobGroupImplement(self.engine, self.group_id)]
+        if self._step == 1:
+            self._step = 2
+            self._add_enforcers(group)
+            jobs = []
+            for gexpr in group.physical_gexprs():
+                if isinstance(gexpr.op, EnforcerOp) and not gexpr.op.serves(
+                    self.req
+                ):
+                    continue
+                jobs.append(JobGexprOptimize(self.engine, gexpr, self.req))
+            if jobs:
+                return jobs
+        ctx.done = True
+        return None
+
+    def _add_enforcers(self, group) -> None:
+        """Plug enforcer operators into the group for this request
+        (Figure 6: Sort, Gather, GatherMerge, Redistribute in group 0/2).
+
+        An enforcer referencing columns the group does not produce (e.g. a
+        Sort on an outer column requested from the wrong join side) is
+        never added; such requests simply remain unsatisfiable here.
+        """
+        memo = self.engine.memo
+        req = self.req
+        produced = {c.id for c in group.output_cols}
+        order_ok = all(k.col_id in produced for k in req.order.keys)
+        if not req.order.is_empty() and order_ok:
+            memo.insert_enforcer(group.id, PhysicalSort(req.order))
+        if isinstance(req.dist, SingletonDist):
+            memo.insert_enforcer(group.id, PhysicalGather())
+            if not req.order.is_empty() and order_ok:
+                memo.insert_enforcer(group.id, PhysicalGatherMerge(req.order))
+        elif isinstance(req.dist, HashedDist):
+            if all(c in produced for c in req.dist.columns):
+                cols = [
+                    self.engine.column_factory.get(c) for c in req.dist.columns
+                ]
+                memo.insert_enforcer(group.id, PhysicalRedistribute(cols))
+        elif isinstance(req.dist, ReplicatedDist):
+            memo.insert_enforcer(group.id, PhysicalBroadcast())
+
+
+class JobGexprOptimize(Job):
+    """Opt(gexpr, req): cost every child-request alternative of gexpr."""
+
+    kind = "Opt(gexpr,req)"
+
+    def __init__(
+        self, engine: "SearchEngine", gexpr: GroupExpression, req: RequiredProps
+    ):
+        super().__init__()
+        self.engine = engine
+        self.gexpr = gexpr
+        self.req = req
+        self.goal = ("opt-x", gexpr.id, req.key())
+        self._alternatives: list[tuple[RequiredProps, ...]] = []
+
+    def step(self, scheduler):
+        engine = self.engine
+        if self._step == 0:
+            self._step = 1
+            cached = self.gexpr.plan_for(self.req)
+            if cached is not None and cached.epoch == engine.epoch:
+                self._record(cached.cost)
+                return None
+            op = self.gexpr.op
+            if isinstance(op, EnforcerOp) and not op.serves(self.req):
+                return None
+            self._alternatives = op.child_request_alternatives(self.req)
+            jobs = []
+            for alt in self._alternatives:
+                for child_group, child_req in zip(self.gexpr.child_groups, alt):
+                    jobs.append(
+                        JobGroupOptimize(engine, child_group, child_req)
+                    )
+            if jobs:
+                return jobs
+        # All child optimizations finished: combine and cost.
+        best: Optional[PlanInfo] = None
+        for alt in self._alternatives:
+            info = engine.cost_alternative(self.gexpr, self.req, alt)
+            if info is not None and (best is None or info.cost < best.cost):
+                best = info
+        if best is not None:
+            self.gexpr.record_plan(self.req, best)
+            self._record(best.cost)
+        return None
+
+    def _record(self, cost: float) -> None:
+        group = self.engine.memo.group(self.gexpr.group_id)
+        group.context(self.req).consider(self.gexpr.id, cost)

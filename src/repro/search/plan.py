@@ -1,0 +1,49 @@
+"""Physical plan trees extracted from the Memo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.ops.expression import Operator
+from repro.ops.scalar import ColRef
+from repro.props.required import DerivedProps
+
+
+@dataclass
+class PlanNode:
+    """One node of an executable physical plan."""
+
+    op: Operator
+    children: list["PlanNode"] = field(default_factory=list)
+    output_cols: list[ColRef] = field(default_factory=list)
+    rows_estimate: float = 0.0
+    cost: float = 0.0
+    delivered: Optional[DerivedProps] = None
+
+    def walk(self) -> Iterable["PlanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def operators(self) -> list[str]:
+        return [node.op.name for node in self.walk()]
+
+    def count_ops(self, name: str) -> int:
+        return sum(1 for node in self.walk() if node.op.name == name)
+
+    def explain(self, indent: int = 0) -> str:
+        """Pretty tree with cost/row annotations, like EXPLAIN output."""
+        pad = "  " * indent
+        props = f" {self.delivered!r}" if self.delivered is not None else ""
+        line = (
+            f"{pad}-> {self.op!r}  (rows={self.rows_estimate:.0f} "
+            f"cost={self.cost:.1f}){props}"
+        )
+        lines = [line]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"PlanNode({self.op!r}, cost={self.cost:.1f})"

@@ -1,0 +1,13 @@
+"""SQL frontend: lexer, parser, and translation to logical expressions.
+
+Covers the SQL subset needed by the TPC-DS-style workload of Section 7:
+joins (explicit and implicit), WHERE with subqueries (EXISTS / IN /
+scalar, correlated or not), GROUP BY / HAVING, ORDER BY / LIMIT, WITH
+(CTEs), UNION / INTERSECT / EXCEPT, CASE, and window functions.
+"""
+
+from repro.sql.lexer import Lexer, Token
+from repro.sql.parser import parse
+from repro.sql.translator import Translator, TranslatedQuery
+
+__all__ = ["Lexer", "Token", "parse", "Translator", "TranslatedQuery"]

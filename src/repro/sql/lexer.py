@@ -1,0 +1,132 @@
+"""SQL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Iterator
+
+from repro.errors import SQLError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "offset", "as", "and", "or", "not", "in", "exists", "between", "like",
+    "is", "null", "case", "when", "then", "else", "end", "join", "inner",
+    "left", "right", "full", "outer", "on", "union", "intersect", "except",
+    "all", "distinct", "with", "asc", "desc", "over", "partition", "true",
+    "false", "date", "cross", "semi", "anti",
+}
+
+SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "+", "-",
+           "*", "/", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'kw', 'ident', 'number', 'string', 'symbol', 'eof'
+    value: object
+    pos: int
+
+    def is_kw(self, *names: str) -> bool:
+        return self.kind == "kw" and self.value in names
+
+    def is_sym(self, *symbols: str) -> bool:
+        return self.kind == "symbol" and self.value in symbols
+
+
+class Lexer:
+    """Tokenizes SQL text."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def tokens(self) -> list[Token]:
+        out = []
+        while True:
+            token = self._next()
+            out.append(token)
+            if token.kind == "eof":
+                return out
+
+    # ------------------------------------------------------------------
+    def _next(self) -> Token:
+        self._skip_ws()
+        if self.pos >= len(self.text):
+            return Token("eof", None, self.pos)
+        ch = self.text[self.pos]
+        start = self.pos
+        if ch.isalpha() or ch == "_":
+            return self._ident(start)
+        if ch.isdigit():
+            return self._number(start)
+        if ch == "'":
+            return self._string(start)
+        for sym in SYMBOLS:
+            if self.text.startswith(sym, self.pos):
+                self.pos += len(sym)
+                value = "<>" if sym == "!=" else sym
+                return Token("symbol", value, start)
+        raise SQLError(f"unexpected character {ch!r} at position {self.pos}")
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+            elif self.text.startswith("--", self.pos):
+                end = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if end < 0 else end + 1
+            else:
+                return
+
+    def _ident(self, start: int) -> Token:
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] == "_"
+        ):
+            self.pos += 1
+        word = self.text[start:self.pos]
+        lower = word.lower()
+        if lower in KEYWORDS:
+            return Token("kw", lower, start)
+        return Token("ident", word, start)
+
+    def _number(self, start: int) -> Token:
+        is_float = False
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch.isdigit():
+                self.pos += 1
+            elif ch == "." and not is_float and self.pos + 1 < len(self.text) \
+                    and self.text[self.pos + 1].isdigit():
+                is_float = True
+                self.pos += 1
+            else:
+                break
+        raw = self.text[start:self.pos]
+        return Token("number", float(raw) if is_float else int(raw), start)
+
+    def _string(self, start: int) -> Token:
+        self.pos += 1  # opening quote
+        chunks = []
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch == "'":
+                if self.text.startswith("''", self.pos):
+                    chunks.append("'")
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                return Token("string", "".join(chunks), start)
+            chunks.append(ch)
+            self.pos += 1
+        raise SQLError(f"unterminated string starting at {start}")
+
+
+def parse_date_literal(value: str) -> date:
+    """Parse a 'YYYY-MM-DD' date string."""
+    try:
+        year, month, day = value.split("-")
+        return date(int(year), int(month), int(day))
+    except ValueError as exc:
+        raise SQLError(f"bad date literal {value!r}") from exc

@@ -1,0 +1,6 @@
+"""Statistics derivation on the compact Memo (Section 4.1, step 2)."""
+
+from repro.stats.selectivity import apply_predicate, estimate_selectivity
+from repro.stats.derivation import StatsDeriver
+
+__all__ = ["apply_predicate", "estimate_selectivity", "StatsDeriver"]

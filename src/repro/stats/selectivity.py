@@ -1,0 +1,227 @@
+"""Predicate selectivity estimation against a statistics object.
+
+Estimates consult column histograms when available and fall back to the
+classic System R magic constants otherwise (e.g. for correlated predicates
+whose outer columns are unknown inside the subquery's statistics).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog.statistics import (
+    ColumnStats,
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+)
+from repro.memo.context import StatsObject
+from repro.ops.scalar import (
+    BoolExpr,
+    ColRefExpr,
+    Comparison,
+    InList,
+    IsNull,
+    LikeExpr,
+    Literal,
+    ScalarExpr,
+    conjuncts,
+)
+
+LIKE_SELECTIVITY = 0.15
+DEFAULT_BOOL_SELECTIVITY = 0.5
+
+
+def estimate_selectivity(pred: Optional[ScalarExpr], stats: StatsObject) -> float:
+    """Estimated fraction of rows satisfying ``pred``."""
+    if pred is None:
+        return 1.0
+    return _selectivity(pred, stats)
+
+
+def apply_predicate(stats: StatsObject, pred: Optional[ScalarExpr]) -> StatsObject:
+    """Statistics of the rows surviving ``pred``.
+
+    Conjuncts are applied one at a time so that each restricts the relevant
+    column histogram before the next conjunct is estimated -- this is what
+    makes join cardinalities after selective filters come out right.
+    """
+    if pred is None:
+        return stats
+    out = stats
+    for conj in conjuncts(pred):
+        sel = _selectivity(conj, out)
+        restricted = _restrict_histogram(conj, out)
+        out = out.scaled(sel)
+        if restricted is not None:
+            col_id, col_stats = restricted
+            out.col_stats[col_id] = col_stats
+    return out
+
+
+# ----------------------------------------------------------------------
+def _selectivity(pred: ScalarExpr, stats: StatsObject) -> float:
+    if isinstance(pred, Literal):
+        return 1.0 if pred.value else 0.0
+    if isinstance(pred, BoolExpr):
+        if pred.op == BoolExpr.NOT:
+            return 1.0 - _selectivity(pred.children[0], stats)
+        child_sels = [_selectivity(c, stats) for c in pred.children]
+        if pred.op == BoolExpr.AND:
+            out = 1.0
+            for s in child_sels:
+                out *= s
+            return out
+        out = 1.0
+        for s in child_sels:
+            out *= 1.0 - s
+        return 1.0 - out
+    if isinstance(pred, Comparison):
+        return _comparison_selectivity(pred, stats)
+    if isinstance(pred, InList):
+        sel = _in_list_selectivity(pred, stats)
+        return 1.0 - sel if pred.negated else sel
+    if isinstance(pred, LikeExpr):
+        return 1.0 - LIKE_SELECTIVITY if pred.negated else LIKE_SELECTIVITY
+    if isinstance(pred, IsNull):
+        col = _single_column(pred.arg, stats)
+        frac = col.null_frac if col is not None else 0.05
+        return 1.0 - frac if pred.negated else frac
+    return DEFAULT_BOOL_SELECTIVITY
+
+
+def _comparison_selectivity(pred: Comparison, stats: StatsObject) -> float:
+    col, value, op = _column_vs_literal(pred)
+    if col is not None:
+        col_stats = stats.column(col.ref.id)
+        if col_stats is not None and col_stats.histogram is not None \
+                and col_stats.histogram.buckets:
+            hist = col_stats.histogram
+            if op == "=":
+                return hist.select_eq(value)
+            if op == "<>":
+                return 1.0 - hist.select_eq(value)
+            if op in ("<", "<="):
+                return hist.select_range(hi=value, hi_inclusive=op == "<=")
+            return hist.select_range(lo=value, lo_inclusive=op == ">=")
+        if op == "=":
+            if col_stats is not None and col_stats.ndv >= 1:
+                return 1.0 / col_stats.ndv
+            return DEFAULT_EQ_SELECTIVITY
+        return DEFAULT_RANGE_SELECTIVITY
+    # column = column (both sides in scope): 1/max(ndv)
+    if isinstance(pred.left, ColRefExpr) and isinstance(pred.right, ColRefExpr):
+        left = stats.column(pred.left.ref.id)
+        right = stats.column(pred.right.ref.id)
+        if pred.op == "=" and left is not None and right is not None:
+            return 1.0 / max(left.ndv, right.ndv, 1.0)
+    if pred.op == "=":
+        return DEFAULT_EQ_SELECTIVITY
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+def _in_list_selectivity(pred: InList, stats: StatsObject) -> float:
+    col = _single_column(pred.arg, stats)
+    if col is not None and col.histogram is not None and col.histogram.buckets:
+        total = sum(col.histogram.select_eq(v) for v in pred.values)
+        return min(total, 1.0)
+    if col is not None and col.ndv >= 1:
+        return min(len(pred.values) / col.ndv, 1.0)
+    return min(len(pred.values) * DEFAULT_EQ_SELECTIVITY, 1.0)
+
+
+def _column_vs_literal(pred: Comparison):
+    """Normalize col-vs-literal comparisons to (col_expr, value, op)."""
+    if isinstance(pred.left, ColRefExpr) and isinstance(pred.right, Literal):
+        return pred.left, pred.right.value, pred.op
+    if isinstance(pred.right, ColRefExpr) and isinstance(pred.left, Literal):
+        flipped = pred.flipped()
+        return flipped.left, flipped.right.value, flipped.op
+    return None, None, pred.op
+
+
+def _single_column(expr: ScalarExpr, stats: StatsObject) -> Optional[ColumnStats]:
+    if isinstance(expr, ColRefExpr):
+        return stats.column(expr.ref.id)
+    return None
+
+
+def _restrict_histogram(conj: ScalarExpr, stats: StatsObject):
+    """Return (col_id, restricted ColumnStats) when a conjunct narrows a
+    single column's histogram, else None."""
+    if isinstance(conj, Comparison):
+        col, value, op = _column_vs_literal(conj)
+        if col is None or value is None:
+            return None
+        col_stats = stats.column(col.ref.id)
+        if col_stats is None or col_stats.histogram is None:
+            return None
+        hist = col_stats.histogram
+        if op == "=":
+            new_hist = hist.restricted_eq(value)
+            return col.ref.id, ColumnStats(
+                ndv=1.0, null_frac=0.0, histogram=new_hist,
+                width=col_stats.width,
+            )
+        if op in ("<", "<=", ">", ">="):
+            if op in ("<", "<="):
+                new_hist = hist.restricted_range(hi=value, hi_inclusive=op == "<=")
+            else:
+                new_hist = hist.restricted_range(lo=value, lo_inclusive=op == ">=")
+            return col.ref.id, ColumnStats(
+                ndv=max(new_hist.ndv(), 1.0),
+                null_frac=0.0,
+                histogram=new_hist,
+                width=col_stats.width,
+            )
+    return None
+
+
+def predicate_confidence(pred: Optional[ScalarExpr], stats: StatsObject) -> float:
+    """Confidence damping factor for estimating ``pred`` against ``stats``.
+
+    Histogram-backed column-vs-literal conjuncts are nearly trustworthy;
+    conjuncts that fall back to magic constants (unknown columns,
+    correlated references, LIKE, complex booleans) are not.  One factor
+    per conjunct, multiplied.
+    """
+    if pred is None:
+        return 1.0
+    factor = 1.0
+    for conj in conjuncts(pred):
+        factor *= _conjunct_confidence(conj, stats)
+    return factor
+
+
+def _conjunct_confidence(conj: ScalarExpr, stats: StatsObject) -> float:
+    if isinstance(conj, Comparison):
+        col, value, _op = _column_vs_literal(conj)
+        if col is not None:
+            col_stats = stats.column(col.ref.id)
+            if col_stats is not None and col_stats.histogram is not None \
+                    and col_stats.histogram.buckets:
+                return 0.97
+            if col_stats is not None:
+                return 0.85
+            return 0.6  # unknown column: correlated parameter or default
+        if isinstance(conj.left, ColRefExpr) and isinstance(conj.right, ColRefExpr):
+            left = stats.column(conj.left.ref.id)
+            right = stats.column(conj.right.ref.id)
+            if left is not None and right is not None:
+                # equality has the NDV-containment model behind it;
+                # non-equi column comparisons are a pure magic constant
+                return 0.9 if conj.op == "=" else 0.5
+            return 0.6
+        return 0.7
+    if isinstance(conj, InList):
+        col = _single_column(conj.arg, stats)
+        return 0.95 if col is not None and col.histogram is not None else 0.7
+    if isinstance(conj, IsNull):
+        return 0.95 if _single_column(conj.arg, stats) is not None else 0.7
+    if isinstance(conj, LikeExpr):
+        return 0.6  # pure magic constant
+    if isinstance(conj, BoolExpr):
+        inner = 1.0
+        for child in conj.children:
+            inner *= _conjunct_confidence(child, stats)
+        return inner * 0.95  # boolean combination stacks assumptions
+    return 0.7

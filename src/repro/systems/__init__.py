@@ -1,0 +1,28 @@
+"""Simulated SQL-on-Hadoop engines (Section 7.3).
+
+Engine *profiles* encode the documented differences the paper attributes
+the performance gaps to: SQL feature support (Figure 15), cost-based vs
+syntactic join ordering, and the ability to spill partial results to
+disk when an operator's state overflows memory.
+"""
+
+from repro.systems.profiles import (
+    HAWQ,
+    IMPALA_LIKE,
+    PRESTO_LIKE,
+    STINGER_LIKE,
+    ALL_PROFILES,
+    EngineProfile,
+)
+from repro.systems.hadoop import RunOutcome, SimulatedEngine
+
+__all__ = [
+    "HAWQ",
+    "IMPALA_LIKE",
+    "PRESTO_LIKE",
+    "STINGER_LIKE",
+    "ALL_PROFILES",
+    "EngineProfile",
+    "RunOutcome",
+    "SimulatedEngine",
+]

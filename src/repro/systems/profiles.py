@@ -1,0 +1,84 @@
+"""Engine profiles.
+
+Unsupported-feature sets follow Section 7.3.1: "Impala does not yet
+support window functions, ORDER BY without LIMIT and some analytic
+functions like ROLLUP and CUBE.  Presto does not yet support non-equi
+joins.  Stinger currently does not support WITH clause and CASE
+statement.  In addition, none of the systems supports INTERSECT, EXCEPT,
+disjunctive join conditions and correlated subqueries."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_NOBODY_HAS = frozenset(
+    {"intersect", "except", "disjunctive_join", "correlated_subquery"}
+)
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Static description of one SQL-on-Hadoop engine."""
+
+    name: str
+    #: SQL features the frontend rejects (query cannot be optimized).
+    unsupported_features: frozenset[str] = frozenset()
+    #: Cost-based optimizer?  False = joins in syntactic order.
+    cost_based: bool = False
+    #: Join motion strategy for non-cost-based engines: 'heuristic' uses
+    #: crude row counts; 'broadcast' always replicates the inner side
+    #: (Impala 1.x's stats-less default).
+    join_strategy: str = "heuristic"
+    #: Can blocking operators spill to disk (False -> OOM, Fig 13 '*')?
+    spill: bool = True
+    #: Per-node working memory, bytes (at benchmark scale).
+    memory_limit_bytes: int = 64 * 1024 * 1024
+    #: MapReduce execution: per-operator job startup work units and
+    #: intermediate-result materialization factor (Stinger, Section 8.3).
+    per_op_startup_units: float = 0.0
+    materialize_output_factor: float = 0.0
+    #: Worker nodes (the Hadoop cluster of Section 7.3.1 has 8).
+    segments: int = 8
+
+
+HAWQ = EngineProfile(
+    name="HAWQ",
+    unsupported_features=frozenset(),
+    cost_based=True,
+    spill=True,
+)
+
+IMPALA_LIKE = EngineProfile(
+    name="Impala",
+    unsupported_features=_NOBODY_HAS | frozenset(
+        {"window", "order_by_no_limit", "rollup"}
+    ),
+    cost_based=False,
+    join_strategy="broadcast",
+    spill=False,
+    memory_limit_bytes=96 * 1024,
+)
+
+PRESTO_LIKE = EngineProfile(
+    name="Presto",
+    unsupported_features=_NOBODY_HAS | frozenset(
+        {"non_equi_join", "with", "subquery", "window", "rollup"}
+    ),
+    cost_based=False,
+    spill=False,
+    # Small enough that every benchmark-scale query overflows: "we were
+    # unable to successfully run any TPC-DS query in Presto".
+    memory_limit_bytes=2 * 1024,
+)
+
+STINGER_LIKE = EngineProfile(
+    name="Stinger",
+    unsupported_features=_NOBODY_HAS | frozenset({"with", "case"}),
+    cost_based=False,
+    spill=True,  # MapReduce materializes everything; it never OOMs...
+    per_op_startup_units=9_000.0,  # ...it just pays per-stage startup
+    materialize_output_factor=3.0,  # and writes intermediates to HDFS
+)
+
+ALL_PROFILES = (HAWQ, IMPALA_LIKE, PRESTO_LIKE, STINGER_LIKE)

@@ -1,0 +1,16 @@
+"""Verifiability tooling (Section 6): AMPERe, TAQO, cardinality testing."""
+
+from repro.verify.ampere import AMPEReDump, capture_dump, replay_dump
+from repro.verify.taqo import TaqoReport, run_taqo, sample_plans
+from repro.verify.cardtest import CardinalityReport, check_cardinalities
+
+__all__ = [
+    "AMPEReDump",
+    "capture_dump",
+    "replay_dump",
+    "TaqoReport",
+    "run_taqo",
+    "sample_plans",
+    "CardinalityReport",
+    "check_cardinalities",
+]

@@ -1,0 +1,59 @@
+"""Cardinality estimation testing framework (Section 6).
+
+Compares the optimizer's per-operator row estimates against the actual
+row counts observed during execution, summarizing them as q-errors
+(max(est/actual, actual/est) — 1.0 is perfect).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class CardinalityReport:
+    """Summary of per-operator estimation quality for one execution."""
+
+    entries: list[tuple[str, float, int, float]] = field(default_factory=list)
+
+    def q_errors(self) -> list[float]:
+        return [q for _op, _est, _act, q in self.entries]
+
+    def median_q_error(self) -> float:
+        qs = sorted(self.q_errors())
+        if not qs:
+            return 1.0
+        mid = len(qs) // 2
+        if len(qs) % 2:
+            return qs[mid]
+        return (qs[mid - 1] + qs[mid]) / 2
+
+    def max_q_error(self) -> float:
+        qs = self.q_errors()
+        return max(qs) if qs else 1.0
+
+    def worst(self, n: int = 5) -> list[tuple[str, float, int, float]]:
+        return sorted(self.entries, key=lambda e: -e[3])[:n]
+
+
+def q_error(estimate: float, actual: float) -> float:
+    """The standard q-error; zero-row cases are smoothed with +1."""
+    est = max(estimate, 0.0) + 1.0
+    act = max(actual, 0) + 1.0
+    return max(est / act, act / est)
+
+
+def check_cardinalities(
+    cardinalities: Sequence[tuple[str, float, int]],
+) -> CardinalityReport:
+    """Build a report from ExecutionMetrics.cardinalities."""
+    report = CardinalityReport()
+    for op_name, estimate, actual in cardinalities:
+        if not math.isfinite(estimate):
+            continue
+        report.entries.append(
+            (op_name, estimate, actual, q_error(estimate, actual))
+        )
+    return report

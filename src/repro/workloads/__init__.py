@@ -1,0 +1,25 @@
+"""TPC-DS-style workload (Section 7.1).
+
+A faithful-in-shape scale-down of the TPC-DS benchmark: the full table
+set with partitioned fact tables, a reverse-statistics data generator,
+a suite of executable query templates tagged with the feature classes
+the paper's evaluation discriminates on, and the 111-query descriptor
+matrix behind Figure 15.
+"""
+
+from repro.workloads.tpcds_schema import build_schema, FACT_TABLES
+from repro.workloads.tpcds_data import populate, build_populated_db
+from repro.workloads.tpcds_queries import QUERIES, Query, queries_by_id
+from repro.workloads.feature_matrix import TPCDS_DESCRIPTORS, QueryDescriptor
+
+__all__ = [
+    "build_schema",
+    "FACT_TABLES",
+    "populate",
+    "build_populated_db",
+    "QUERIES",
+    "Query",
+    "queries_by_id",
+    "TPCDS_DESCRIPTORS",
+    "QueryDescriptor",
+]

@@ -1,0 +1,302 @@
+"""TPC-DS data generation via the reverse-statistics generator.
+
+Row counts scale linearly with the scale factor for fact tables and
+sub-linearly for dimensions, mirroring dsdgen's behaviour.  Foreign keys
+draw from previously generated key domains so joins are never empty, and
+a zipf-skewed item popularity gives the histograms something to say.
+"""
+
+from __future__ import annotations
+
+from datetime import date, timedelta
+
+from repro.catalog.database import Database
+from repro.catalog.datagen import ColumnSpec as C
+from repro.catalog.datagen import ReverseStatsGenerator
+from repro.workloads.tpcds_schema import DATE_SK_HI, DATE_SK_LO, build_schema
+
+_BASE_DATE = date(1998, 1, 1)
+_DAY_NAMES = ("Sunday", "Monday", "Tuesday", "Wednesday", "Thursday",
+              "Friday", "Saturday")
+_STATES = ("CA", "TX", "NY", "WA", "GA", "IL", "OH", "MI", "TN", "FL")
+_CATEGORIES = ("Books", "Electronics", "Home", "Jewelry", "Music",
+               "Shoes", "Sports", "Toys", "Men", "Women")
+_BRANDS = tuple(f"brand_{i}" for i in range(1, 51))
+_CLASSES = tuple(f"class_{i}" for i in range(1, 21))
+_COLORS = ("red", "blue", "green", "black", "white", "silver")
+_EDUCATION = ("Primary", "Secondary", "College", "2 yr Degree",
+              "4 yr Degree", "Advanced Degree", "Unknown")
+_BUY_POTENTIAL = (">10000", "5001-10000", "1001-5000", "501-1000",
+                  "0-500", "Unknown")
+
+
+def table_row_counts(scale: float = 1.0) -> dict[str, int]:
+    """Row counts per table at a given scale factor."""
+    dim = lambda n: max(int(n * min(scale, 4.0) ** 0.5), 4)
+    fact = lambda n: max(int(n * scale), 50)
+    return {
+        "date_dim": DATE_SK_HI,
+        "time_dim": 288,
+        "item": dim(1000),
+        "customer": dim(2000),
+        "customer_address": dim(1000),
+        "customer_demographics": dim(400),
+        "household_demographics": dim(144),
+        "income_band": 20,
+        "store": 12,
+        "warehouse": 5,
+        "call_center": 4,
+        "catalog_page": dim(100),
+        "web_site": 6,
+        "web_page": 20,
+        "promotion": 30,
+        "reason": 10,
+        "ship_mode": 10,
+        "store_sales": fact(40000),
+        "store_returns": fact(4000),
+        "catalog_sales": fact(20000),
+        "catalog_returns": fact(2000),
+        "web_sales": fact(10000),
+        "web_returns": fact(1000),
+        "inventory": fact(8000),
+    }
+
+
+def populate(db: Database, scale: float = 1.0, seed: int = 42) -> None:
+    """Fill a TPC-DS schema with synthetic, referentially intact data."""
+    gen = ReverseStatsGenerator(db, seed=seed)
+    counts = table_row_counts(scale)
+
+    gen.populate("date_dim", counts["date_dim"], {
+        "d_date_sk": C.serial(),
+        "d_date": C.expr(lambda r: _BASE_DATE + timedelta(days=r["d_date_sk"] - 1)),
+        "d_year": C.expr(lambda r: r["d_date"].year),
+        "d_moy": C.expr(lambda r: r["d_date"].month),
+        "d_dom": C.expr(lambda r: r["d_date"].day),
+        "d_qoy": C.expr(lambda r: (r["d_date"].month - 1) // 3 + 1),
+        "d_day_name": C.expr(lambda r: _DAY_NAMES[r["d_date"].weekday()]),
+        "d_month_seq": C.expr(
+            lambda r: (r["d_date"].year - 1998) * 12 + r["d_date"].month
+        ),
+    })
+
+    gen.populate("time_dim", counts["time_dim"], {
+        "t_time_sk": C.serial(),
+        "t_hour": C.expr(lambda r: (r["t_time_sk"] - 1) // 12),
+        "t_minute": C.expr(lambda r: ((r["t_time_sk"] - 1) % 12) * 5),
+        "t_am_pm": C.expr(lambda r: "AM" if r["t_hour"] < 12 else "PM"),
+    })
+
+    gen.populate("item", counts["item"], {
+        "i_item_sk": C.serial(),
+        "i_item_id": C.expr(lambda r: f"ITEM{r['i_item_sk']:08d}"),
+        "i_brand_id": C.uniform_int(1, 50),
+        "i_brand": C.expr(lambda r: f"brand_{r['i_brand_id']}"),
+        "i_class": C.choice(_CLASSES),
+        "i_category": C.choice(_CATEGORIES),
+        "i_manufact_id": C.uniform_int(1, 100),
+        "i_current_price": C.uniform_float(0.5, 300.0),
+        "i_color": C.choice(_COLORS),
+    })
+
+    gen.populate("customer_address", counts["customer_address"], {
+        "ca_address_sk": C.serial(),
+        "ca_city": C.choice(tuple(f"city_{i}" for i in range(60))),
+        "ca_county": C.choice(tuple(f"county_{i}" for i in range(30))),
+        "ca_state": C.choice(_STATES),
+        "ca_zip": C.choice(tuple(f"{z:05d}" for z in range(10000, 10200))),
+        "ca_gmt_offset": C.choice((-8, -7, -6, -5)),
+    })
+
+    gen.populate("customer_demographics", counts["customer_demographics"], {
+        "cd_demo_sk": C.serial(),
+        "cd_gender": C.choice(("M", "F")),
+        "cd_marital_status": C.choice(("S", "M", "D", "W", "U")),
+        "cd_education_status": C.choice(_EDUCATION),
+        "cd_purchase_estimate": C.uniform_int(500, 10000),
+    })
+
+    gen.populate("household_demographics", counts["household_demographics"], {
+        "hd_demo_sk": C.serial(),
+        "hd_income_band_sk": C.uniform_int(1, 20),
+        "hd_buy_potential": C.choice(_BUY_POTENTIAL),
+        "hd_dep_count": C.uniform_int(0, 9),
+        "hd_vehicle_count": C.uniform_int(0, 4),
+    })
+
+    gen.populate("income_band", counts["income_band"], {
+        "ib_income_band_sk": C.serial(),
+        "ib_lower_bound": C.expr(lambda r: (r["ib_income_band_sk"] - 1) * 10000),
+        "ib_upper_bound": C.expr(lambda r: r["ib_income_band_sk"] * 10000),
+    })
+
+    gen.populate("customer", counts["customer"], {
+        "c_customer_sk": C.serial(),
+        "c_customer_id": C.expr(lambda r: f"CUST{r['c_customer_sk']:08d}"),
+        "c_current_addr_sk": C.fk("customer_address", "ca_address_sk"),
+        "c_current_cdemo_sk": C.fk("customer_demographics", "cd_demo_sk"),
+        "c_current_hdemo_sk": C.fk("household_demographics", "hd_demo_sk"),
+        "c_first_name": C.choice(tuple(f"first_{i}" for i in range(100))),
+        "c_last_name": C.choice(tuple(f"last_{i}" for i in range(200))),
+        "c_birth_year": C.uniform_int(1930, 2000),
+        "c_preferred_cust_flag": C.choice(("Y", "N")),
+    })
+
+    gen.populate("store", counts["store"], {
+        "s_store_sk": C.serial(),
+        "s_store_id": C.expr(lambda r: f"S{r['s_store_sk']:04d}"),
+        "s_store_name": C.expr(lambda r: f"store_{r['s_store_sk']}"),
+        "s_state": C.choice(_STATES[:5]),
+        "s_county": C.choice(tuple(f"county_{i}" for i in range(10))),
+        "s_number_employees": C.uniform_int(200, 300),
+    })
+
+    gen.populate("warehouse", counts["warehouse"], {
+        "w_warehouse_sk": C.serial(),
+        "w_warehouse_name": C.expr(lambda r: f"wh_{r['w_warehouse_sk']}"),
+        "w_state": C.choice(_STATES[:4]),
+    })
+
+    gen.populate("call_center", counts["call_center"], {
+        "cc_call_center_sk": C.serial(),
+        "cc_name": C.expr(lambda r: f"cc_{r['cc_call_center_sk']}"),
+        "cc_manager": C.choice(tuple(f"mgr_{i}" for i in range(8))),
+    })
+
+    gen.populate("catalog_page", counts["catalog_page"], {
+        "cp_catalog_page_sk": C.serial(),
+        "cp_department": C.choice(("DEPT1", "DEPT2", "DEPT3")),
+        "cp_type": C.choice(("monthly", "quarterly", "bi-annual")),
+    })
+
+    gen.populate("web_site", counts["web_site"], {
+        "web_site_sk": C.serial(),
+        "web_name": C.expr(lambda r: f"site_{r['web_site_sk']}"),
+        "web_class": C.choice(("Unknown", "mail", "general")),
+    })
+
+    gen.populate("web_page", counts["web_page"], {
+        "wp_web_page_sk": C.serial(),
+        "wp_type": C.choice(("ad", "dynamic", "feedback", "general")),
+        "wp_char_count": C.uniform_int(100, 8000),
+    })
+
+    gen.populate("promotion", counts["promotion"], {
+        "p_promo_sk": C.serial(),
+        "p_channel_email": C.choice(("Y", "N")),
+        "p_channel_tv": C.choice(("Y", "N")),
+    })
+
+    gen.populate("reason", counts["reason"], {
+        "r_reason_sk": C.serial(),
+        "r_reason_desc": C.choice(
+            ("defective", "unwanted", "wrong size", "late", "other")
+        ),
+    })
+
+    gen.populate("ship_mode", counts["ship_mode"], {
+        "sm_ship_mode_sk": C.serial(),
+        "sm_type": C.choice(("EXPRESS", "NEXT DAY", "REGULAR", "LIBRARY")),
+        "sm_carrier": C.choice(("UPS", "FEDEX", "USPS", "DHL")),
+    })
+
+    # ------------------------------------------------------------------
+    # Facts
+    # ------------------------------------------------------------------
+    gen.populate("store_sales", counts["store_sales"], {
+        "ss_sold_date_sk": C.uniform_int(DATE_SK_LO, DATE_SK_HI),
+        "ss_sold_time_sk": C.fk("time_dim", "t_time_sk"),
+        "ss_item_sk": C.zipf_int(1, counts["item"], s=1.1),
+        "ss_customer_sk": C.fk("customer", "c_customer_sk", null_frac=0.02),
+        "ss_cdemo_sk": C.fk("customer_demographics", "cd_demo_sk"),
+        "ss_hdemo_sk": C.fk("household_demographics", "hd_demo_sk"),
+        "ss_addr_sk": C.fk("customer_address", "ca_address_sk"),
+        "ss_store_sk": C.fk("store", "s_store_sk"),
+        "ss_promo_sk": C.fk("promotion", "p_promo_sk"),
+        "ss_ticket_number": C.serial(),
+        "ss_quantity": C.uniform_int(1, 100),
+        "ss_sales_price": C.uniform_float(1.0, 200.0),
+        "ss_ext_sales_price": C.expr(
+            lambda r: round(r["ss_quantity"] * r["ss_sales_price"], 2)
+        ),
+        "ss_net_profit": C.uniform_float(-100.0, 500.0),
+    })
+
+    gen.populate("store_returns", counts["store_returns"], {
+        "sr_returned_date_sk": C.uniform_int(DATE_SK_LO, DATE_SK_HI),
+        "sr_item_sk": C.fk("store_sales", "ss_item_sk"),
+        "sr_customer_sk": C.fk("customer", "c_customer_sk"),
+        "sr_ticket_number": C.fk("store_sales", "ss_ticket_number"),
+        "sr_reason_sk": C.fk("reason", "r_reason_sk"),
+        "sr_return_quantity": C.uniform_int(1, 40),
+        "sr_return_amt": C.uniform_float(1.0, 400.0),
+    })
+
+    gen.populate("catalog_sales", counts["catalog_sales"], {
+        "cs_sold_date_sk": C.uniform_int(DATE_SK_LO, DATE_SK_HI),
+        "cs_item_sk": C.zipf_int(1, counts["item"], s=1.1),
+        "cs_bill_customer_sk": C.fk("customer", "c_customer_sk"),
+        "cs_ship_customer_sk": C.fk("customer", "c_customer_sk"),
+        "cs_call_center_sk": C.fk("call_center", "cc_call_center_sk"),
+        "cs_catalog_page_sk": C.fk("catalog_page", "cp_catalog_page_sk"),
+        "cs_ship_mode_sk": C.fk("ship_mode", "sm_ship_mode_sk"),
+        "cs_warehouse_sk": C.fk("warehouse", "w_warehouse_sk"),
+        "cs_order_number": C.serial(),
+        "cs_quantity": C.uniform_int(1, 100),
+        "cs_sales_price": C.uniform_float(1.0, 250.0),
+        "cs_ext_sales_price": C.expr(
+            lambda r: round(r["cs_quantity"] * r["cs_sales_price"], 2)
+        ),
+        "cs_net_profit": C.uniform_float(-150.0, 600.0),
+    })
+
+    gen.populate("catalog_returns", counts["catalog_returns"], {
+        "cr_returned_date_sk": C.uniform_int(DATE_SK_LO, DATE_SK_HI),
+        "cr_item_sk": C.fk("catalog_sales", "cs_item_sk"),
+        "cr_refunded_customer_sk": C.fk("customer", "c_customer_sk"),
+        "cr_order_number": C.fk("catalog_sales", "cs_order_number"),
+        "cr_return_quantity": C.uniform_int(1, 40),
+        "cr_return_amount": C.uniform_float(1.0, 500.0),
+    })
+
+    gen.populate("web_sales", counts["web_sales"], {
+        "ws_sold_date_sk": C.uniform_int(DATE_SK_LO, DATE_SK_HI),
+        "ws_item_sk": C.zipf_int(1, counts["item"], s=1.1),
+        "ws_bill_customer_sk": C.fk("customer", "c_customer_sk"),
+        "ws_web_site_sk": C.fk("web_site", "web_site_sk"),
+        "ws_web_page_sk": C.fk("web_page", "wp_web_page_sk"),
+        "ws_ship_mode_sk": C.fk("ship_mode", "sm_ship_mode_sk"),
+        "ws_warehouse_sk": C.fk("warehouse", "w_warehouse_sk"),
+        "ws_order_number": C.serial(),
+        "ws_quantity": C.uniform_int(1, 100),
+        "ws_sales_price": C.uniform_float(1.0, 250.0),
+        "ws_ext_sales_price": C.expr(
+            lambda r: round(r["ws_quantity"] * r["ws_sales_price"], 2)
+        ),
+        "ws_net_profit": C.uniform_float(-120.0, 550.0),
+    })
+
+    gen.populate("web_returns", counts["web_returns"], {
+        "wr_returned_date_sk": C.uniform_int(DATE_SK_LO, DATE_SK_HI),
+        "wr_item_sk": C.fk("web_sales", "ws_item_sk"),
+        "wr_refunded_customer_sk": C.fk("customer", "c_customer_sk"),
+        "wr_order_number": C.fk("web_sales", "ws_order_number"),
+        "wr_return_quantity": C.uniform_int(1, 30),
+        "wr_return_amt": C.uniform_float(1.0, 450.0),
+    })
+
+    gen.populate("inventory", counts["inventory"], {
+        "inv_date_sk": C.uniform_int(DATE_SK_LO, DATE_SK_HI),
+        "inv_item_sk": C.fk("item", "i_item_sk"),
+        "inv_warehouse_sk": C.fk("warehouse", "w_warehouse_sk"),
+        "inv_quantity_on_hand": C.uniform_int(0, 1000),
+    })
+
+    db.analyze()
+
+
+def build_populated_db(scale: float = 1.0, seed: int = 42) -> Database:
+    """Schema + data + statistics, ready for optimization."""
+    db = build_schema()
+    populate(db, scale=scale, seed=seed)
+    return db

@@ -1,0 +1,530 @@
+"""Executable TPC-DS-style query suite.
+
+Each query is tagged with the TPC-DS template(s) whose shape it
+represents and with the feature classes used by the engine-profile
+support checks of Section 7.3 (Figure 15).  ``memory_intensive`` marks
+queries whose hash tables overflow a spill-less engine's working memory
+at benchmark scale — the ``*`` bars of Figure 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Query:
+    """One workload query."""
+
+    id: str
+    #: TPC-DS template numbers this query's shape represents.
+    tpcds_refs: tuple[int, ...]
+    sql: str
+    #: Feature tags (beyond what the translator detects automatically).
+    tags: frozenset[str] = frozenset()
+    memory_intensive: bool = False
+
+
+QUERIES: list[Query] = [
+    Query(
+        "star_brand", (3, 42, 52, 55),
+        """
+        SELECT d.d_year, i.i_brand_id, i.i_brand,
+               sum(ss.ss_ext_sales_price) AS sum_agg
+        FROM store_sales ss, date_dim d, item i
+        WHERE ss.ss_sold_date_sk = d.d_date_sk
+          AND ss.ss_item_sk = i.i_item_sk
+          AND i.i_manufact_id = 52
+          AND d.d_moy = 11
+        GROUP BY d.d_year, i.i_brand_id, i.i_brand
+        ORDER BY d.d_year, sum_agg DESC, i.i_brand_id
+        LIMIT 100
+        """,
+    ),
+    Query(
+        "demo_promo", (7, 26),
+        """
+        SELECT i.i_item_id,
+               avg(ss.ss_quantity) AS agg1,
+               avg(ss.ss_sales_price) AS agg2
+        FROM store_sales ss, customer_demographics cd, item i, promotion p
+        WHERE ss.ss_cdemo_sk = cd.cd_demo_sk
+          AND ss.ss_item_sk = i.i_item_sk
+          AND ss.ss_promo_sk = p.p_promo_sk
+          AND cd.cd_gender = 'M'
+          AND cd.cd_marital_status = 'S'
+          AND cd.cd_education_status = 'College'
+          AND p.p_channel_email = 'N'
+        GROUP BY i.i_item_id
+        ORDER BY i.i_item_id
+        LIMIT 100
+        """,
+    ),
+    Query(
+        "class_ratio_window", (12, 20, 98),
+        """
+        SELECT i.i_item_id, i.i_class, i.i_category,
+               sum(ws.ws_ext_sales_price) AS itemrevenue,
+               sum(sum(ws.ws_ext_sales_price))
+                   OVER (PARTITION BY i.i_class) AS classrevenue
+        FROM web_sales ws, item i, date_dim d
+        WHERE ws.ws_item_sk = i.i_item_sk
+          AND ws.ws_sold_date_sk = d.d_date_sk
+          AND i.i_category IN ('Books', 'Home', 'Sports')
+          AND d.d_date_sk BETWEEN 100 AND 130
+        GROUP BY i.i_item_id, i.i_class, i.i_category
+        ORDER BY i.i_class, i.i_item_id
+        LIMIT 100
+        """,
+        tags=frozenset({"window"}),
+    ),
+    Query(
+        "zip_group", (15,),
+        """
+        SELECT ca.ca_zip, sum(cs.cs_sales_price) AS total
+        FROM catalog_sales cs, customer c, customer_address ca, date_dim d
+        WHERE cs.cs_bill_customer_sk = c.c_customer_sk
+          AND c.c_current_addr_sk = ca.ca_address_sk
+          AND cs.cs_sold_date_sk = d.d_date_sk
+          AND d.d_qoy = 2
+          AND ca.ca_state IN ('CA', 'WA', 'GA')
+        GROUP BY ca.ca_zip
+        ORDER BY ca.ca_zip
+        LIMIT 100
+        """,
+    ),
+    Query(
+        "multi_fact_join", (25, 29),
+        """
+        SELECT i.i_item_id, s.s_store_id,
+               sum(ss.ss_net_profit) AS store_profit,
+               sum(cs.cs_net_profit) AS catalog_profit
+        FROM store_sales ss
+        JOIN store_returns sr
+          ON ss.ss_customer_sk = sr.sr_customer_sk
+         AND ss.ss_item_sk = sr.sr_item_sk
+         AND ss.ss_ticket_number = sr.sr_ticket_number
+        JOIN catalog_sales cs
+          ON sr.sr_customer_sk = cs.cs_bill_customer_sk
+         AND sr.sr_item_sk = cs.cs_item_sk
+        JOIN item i ON ss.ss_item_sk = i.i_item_sk
+        JOIN store s ON ss.ss_store_sk = s.s_store_sk
+        GROUP BY i.i_item_id, s.s_store_id
+        ORDER BY i.i_item_id, s.s_store_id
+        LIMIT 100
+        """,
+        memory_intensive=True,
+    ),
+    Query(
+        "category_by_day", (42,),
+        """
+        SELECT d.d_year, i.i_category, sum(ss.ss_ext_sales_price) AS total
+        FROM date_dim d, store_sales ss, item i
+        WHERE d.d_date_sk = ss.ss_sold_date_sk
+          AND ss.ss_item_sk = i.i_item_sk
+          AND d.d_moy = 12
+        GROUP BY d.d_year, i.i_category
+        ORDER BY total DESC, d.d_year
+        LIMIT 100
+        """,
+    ),
+    Query(
+        "avg_price_corr_subquery", (6, 32, 92),
+        """
+        SELECT i.i_item_id, i.i_current_price
+        FROM item i
+        WHERE i.i_current_price > (
+            SELECT avg(i2.i_current_price) * 1.2
+            FROM item i2
+            WHERE i2.i_category = i.i_category
+        )
+        ORDER BY i.i_item_id
+        LIMIT 100
+        """,
+        tags=frozenset({"correlated_subquery"}),
+    ),
+    Query(
+        "exists_customers", (10, 35),
+        """
+        SELECT cd.cd_gender, cd.cd_marital_status, count(*) AS cnt
+        FROM customer c, customer_demographics cd, customer_address ca
+        WHERE c.c_current_cdemo_sk = cd.cd_demo_sk
+          AND c.c_current_addr_sk = ca.ca_address_sk
+          AND ca.ca_state IN ('CA', 'TX', 'NY')
+          AND EXISTS (
+              SELECT 1 FROM store_sales ss, date_dim d
+              WHERE c.c_customer_sk = ss.ss_customer_sk
+                AND ss.ss_sold_date_sk = d.d_date_sk
+                AND d.d_qoy = 1
+          )
+        GROUP BY cd.cd_gender, cd.cd_marital_status
+        ORDER BY cd.cd_gender, cd.cd_marital_status
+        """,
+        tags=frozenset({"correlated_subquery"}),
+    ),
+    Query(
+        "not_exists_returns", (16, 94),
+        """
+        SELECT count(DISTINCT ws.ws_order_number) AS order_count,
+               sum(ws.ws_net_profit) AS total_net_profit
+        FROM web_sales ws, date_dim d
+        WHERE ws.ws_sold_date_sk = d.d_date_sk
+          AND d.d_qoy = 3
+          AND NOT EXISTS (
+              SELECT 1 FROM web_returns wr
+              WHERE ws.ws_order_number = wr.wr_order_number
+          )
+        """,
+        tags=frozenset({"correlated_subquery"}),
+    ),
+    Query(
+        "cte_frequent_items", (23,),
+        """
+        WITH frequent_ss_items AS (
+            SELECT ss.ss_item_sk AS item_sk, count(*) AS cnt
+            FROM store_sales ss, date_dim d
+            WHERE ss.ss_sold_date_sk = d.d_date_sk
+            GROUP BY ss.ss_item_sk
+            HAVING count(*) > 4
+        )
+        SELECT f1.item_sk, f1.cnt + f2.cnt AS combined
+        FROM frequent_ss_items f1, frequent_ss_items f2
+        WHERE f1.item_sk = f2.item_sk AND f1.cnt < f2.cnt + 1
+        ORDER BY combined DESC, f1.item_sk
+        LIMIT 100
+        """,
+        memory_intensive=True,
+    ),
+    Query(
+        "cte_year_totals", (59, 74),
+        """
+        WITH wss AS (
+            SELECT ss.ss_store_sk AS store_sk, d.d_year AS year_,
+                   sum(ss.ss_ext_sales_price) AS sales
+            FROM store_sales ss, date_dim d
+            WHERE ss.ss_sold_date_sk = d.d_date_sk
+            GROUP BY ss.ss_store_sk, d.d_year
+        )
+        SELECT y1.store_sk, y1.sales AS sales1, y2.sales AS sales2
+        FROM wss y1, wss y2
+        WHERE y1.store_sk = y2.store_sk
+          AND y1.year_ = 1998 AND y2.year_ = 1999
+        ORDER BY y1.store_sk
+        """,
+    ),
+    Query(
+        "rank_profit_window", (44,),
+        """
+        SELECT ranking.item_sk, ranking.rnk, ranking.avg_profit
+        FROM (
+            SELECT ss.ss_item_sk AS item_sk,
+                   avg(ss.ss_net_profit) AS avg_profit,
+                   rank() OVER (ORDER BY avg(ss.ss_net_profit) DESC) AS rnk
+            FROM store_sales ss
+            GROUP BY ss.ss_item_sk
+        ) AS ranking
+        WHERE ranking.rnk <= 10
+        ORDER BY ranking.rnk
+        """,
+        tags=frozenset({"window", "derived_table"}),
+    ),
+    Query(
+        "channel_intersect", (38,),
+        """
+        SELECT count(*) AS overlap_customers
+        FROM (
+            SELECT ss.ss_customer_sk AS csk FROM store_sales ss
+            WHERE ss.ss_customer_sk IS NOT NULL
+            INTERSECT
+            SELECT ws.ws_bill_customer_sk AS csk FROM web_sales ws
+            INTERSECT
+            SELECT cs.cs_bill_customer_sk AS csk FROM catalog_sales cs
+        ) AS hot
+        """,
+        tags=frozenset({"intersect"}),
+    ),
+    Query(
+        "channel_except", (87,),
+        """
+        SELECT count(*) AS store_only_customers
+        FROM (
+            SELECT ss.ss_customer_sk AS csk FROM store_sales ss
+            WHERE ss.ss_customer_sk IS NOT NULL
+            EXCEPT
+            SELECT ws.ws_bill_customer_sk AS csk FROM web_sales ws
+        ) AS cool
+        """,
+        tags=frozenset({"except"}),
+    ),
+    Query(
+        "channel_union", (71, 76),
+        """
+        SELECT chan.item_sk, sum(chan.price) AS revenue, count(*) AS cnt
+        FROM (
+            SELECT ws.ws_item_sk AS item_sk, ws.ws_sales_price AS price
+            FROM web_sales ws WHERE ws.ws_sold_date_sk < 200
+            UNION ALL
+            SELECT cs.cs_item_sk AS item_sk, cs.cs_sales_price AS price
+            FROM catalog_sales cs WHERE cs.cs_sold_date_sk < 200
+            UNION ALL
+            SELECT ss.ss_item_sk AS item_sk, ss.ss_sales_price AS price
+            FROM store_sales ss WHERE ss.ss_sold_date_sk < 200
+        ) AS chan
+        GROUP BY chan.item_sk
+        ORDER BY revenue DESC, chan.item_sk
+        LIMIT 100
+        """,
+        tags=frozenset({"union"}),
+    ),
+    Query(
+        "inventory_item", (37, 82),
+        """
+        SELECT i.i_item_id, i.i_item_sk, i.i_current_price
+        FROM item i, inventory inv, date_dim d
+        WHERE inv.inv_item_sk = i.i_item_sk
+          AND inv.inv_date_sk = d.d_date_sk
+          AND i.i_current_price BETWEEN 30 AND 60
+          AND inv.inv_quantity_on_hand BETWEEN 100 AND 500
+          AND d.d_date_sk BETWEEN 300 AND 360
+        GROUP BY i.i_item_id, i.i_item_sk, i.i_current_price
+        ORDER BY i.i_item_id
+        LIMIT 100
+        """,
+    ),
+    Query(
+        "returns_reason", (93,),
+        """
+        SELECT ss.ss_customer_sk, sum(ss.ss_sales_price) AS sumsales
+        FROM store_sales ss
+        JOIN store_returns sr
+          ON ss.ss_item_sk = sr.sr_item_sk
+         AND ss.ss_ticket_number = sr.sr_ticket_number
+        JOIN reason r ON sr.sr_reason_sk = r.r_reason_sk
+        WHERE r.r_reason_desc = 'defective'
+        GROUP BY ss.ss_customer_sk
+        ORDER BY sumsales DESC, ss.ss_customer_sk
+        LIMIT 100
+        """,
+    ),
+    Query(
+        "nonequi_inventory", (72,),
+        """
+        SELECT i.i_item_id, w.w_warehouse_name, count(*) AS cnt
+        FROM catalog_sales cs
+        JOIN inventory inv
+          ON cs.cs_item_sk = inv.inv_item_sk
+         AND inv.inv_quantity_on_hand < cs.cs_quantity
+        JOIN warehouse w ON inv.inv_warehouse_sk = w.w_warehouse_sk
+        JOIN item i ON cs.cs_item_sk = i.i_item_sk
+        WHERE i.i_category = 'Books'
+        GROUP BY i.i_item_id, w.w_warehouse_name
+        ORDER BY cnt DESC, i.i_item_id
+        LIMIT 100
+        """,
+        tags=frozenset({"non_equi_join"}),
+        memory_intensive=True,
+    ),
+    Query(
+        "store_revenue_vs_avg", (65,),
+        """
+        SELECT s.s_store_name, agg.item_sk, agg.revenue
+        FROM store s, (
+            SELECT ss.ss_store_sk AS store_sk, ss.ss_item_sk AS item_sk,
+                   sum(ss.ss_sales_price) AS revenue
+            FROM store_sales ss
+            GROUP BY ss.ss_store_sk, ss.ss_item_sk
+        ) AS agg
+        WHERE s.s_store_sk = agg.store_sk
+          AND agg.revenue > 900
+        ORDER BY s.s_store_name, agg.revenue DESC
+        LIMIT 100
+        """,
+        tags=frozenset({"derived_table"}),
+    ),
+    Query(
+        "disjunctive_demo", (85, 48),
+        """
+        SELECT avg(ws.ws_quantity) AS avg_qty,
+               avg(wr.wr_return_amt) AS avg_ret
+        FROM web_sales ws, web_returns wr, customer_demographics cd
+        WHERE ws.ws_order_number = wr.wr_order_number
+          AND ws.ws_item_sk = wr.wr_item_sk
+          AND wr.wr_refunded_customer_sk = cd.cd_demo_sk
+          AND ((cd.cd_marital_status = 'M' AND ws.ws_sales_price < 100)
+            OR (cd.cd_marital_status = 'S' AND ws.ws_sales_price < 150))
+        """,
+        tags=frozenset({"disjunctive_join"}),
+    ),
+    Query(
+        "case_counts", (34, 73),
+        """
+        SELECT s.s_store_name,
+               sum(CASE WHEN ss.ss_quantity BETWEEN 1 AND 20
+                        THEN 1 ELSE 0 END) AS small_baskets,
+               sum(CASE WHEN ss.ss_quantity > 20
+                        THEN 1 ELSE 0 END) AS big_baskets
+        FROM store_sales ss, store s
+        WHERE ss.ss_store_sk = s.s_store_sk
+        GROUP BY s.s_store_name
+        ORDER BY s.s_store_name
+        """,
+        tags=frozenset({"case"}),
+    ),
+    Query(
+        "dpe_quarter", (43,),
+        """
+        SELECT d.d_day_name, sum(ss.ss_sales_price) AS sales
+        FROM store_sales ss, date_dim d
+        WHERE ss.ss_sold_date_sk = d.d_date_sk
+          AND d.d_year = 1998 AND d.d_qoy = 1
+        GROUP BY d.d_day_name
+        ORDER BY d.d_day_name
+        """,
+    ),
+    Query(
+        "topn_profit", (17, 50),
+        """
+        SELECT ss.ss_store_sk, ss.ss_item_sk, ss.ss_net_profit
+        FROM store_sales ss, date_dim d
+        WHERE ss.ss_sold_date_sk = d.d_date_sk AND d.d_moy = 6
+        ORDER BY ss.ss_net_profit DESC, ss.ss_store_sk, ss.ss_item_sk
+        LIMIT 100
+        """,
+    ),
+    Query(
+        "brand_having", (53, 63),
+        """
+        SELECT i.i_brand, count(*) AS cnt, avg(ss.ss_sales_price) AS avg_price
+        FROM store_sales ss, item i
+        WHERE ss.ss_item_sk = i.i_item_sk
+        GROUP BY i.i_brand
+        HAVING count(*) > 50
+        ORDER BY cnt DESC, i.i_brand
+        LIMIT 100
+        """,
+        tags=frozenset({"having"}),
+    ),
+    Query(
+        "left_join_returns", (49, 81),
+        """
+        SELECT i.i_category,
+               count(*) AS sales_cnt,
+               count(sr.sr_ticket_number) AS returned_cnt
+        FROM store_sales ss
+        LEFT JOIN store_returns sr
+          ON ss.ss_item_sk = sr.sr_item_sk
+         AND ss.ss_ticket_number = sr.sr_ticket_number
+        JOIN item i ON ss.ss_item_sk = i.i_item_sk
+        GROUP BY i.i_category
+        ORDER BY i.i_category
+        """,
+        tags=frozenset({"outer_join"}),
+    ),
+    Query(
+        "scalar_totals", (22,),
+        """
+        SELECT count(*) AS n, sum(inv.inv_quantity_on_hand) AS total_qty,
+               avg(inv.inv_quantity_on_hand) AS avg_qty
+        FROM inventory inv, item i
+        WHERE inv.inv_item_sk = i.i_item_sk AND i.i_category = 'Music'
+        """,
+        tags=frozenset({"scalar_agg"}),
+    ),
+    Query(
+        "in_subquery_items", (33, 56, 60),
+        """
+        SELECT i.i_brand, sum(ss.ss_ext_sales_price) AS total_sales
+        FROM store_sales ss, item i, date_dim d
+        WHERE ss.ss_item_sk = i.i_item_sk
+          AND ss.ss_sold_date_sk = d.d_date_sk
+          AND d.d_moy = 5
+          AND i.i_item_sk IN (
+              SELECT i2.i_item_sk FROM item i2 WHERE i2.i_color = 'red'
+          )
+        GROUP BY i.i_brand
+        ORDER BY total_sales DESC, i.i_brand
+        LIMIT 100
+        """,
+        tags=frozenset({"subquery"}),
+    ),
+    Query(
+        "customer_channels", (54,),
+        """
+        SELECT c.c_customer_sk, count(*) AS orders
+        FROM customer c, web_sales ws, date_dim d
+        WHERE c.c_customer_sk = ws.ws_bill_customer_sk
+          AND ws.ws_sold_date_sk = d.d_date_sk
+          AND d.d_year = 1999
+          AND c.c_preferred_cust_flag = 'Y'
+        GROUP BY c.c_customer_sk
+        ORDER BY orders DESC, c.c_customer_sk
+        LIMIT 100
+        """,
+    ),
+    Query(
+        "monthly_seq_window", (47, 57),
+        """
+        SELECT v.brand, v.moy, v.sales,
+               avg(v.sales) OVER (PARTITION BY v.brand) AS avg_monthly
+        FROM (
+            SELECT i.i_brand AS brand, d.d_moy AS moy,
+                   sum(ss.ss_sales_price) AS sales
+            FROM store_sales ss, item i, date_dim d
+            WHERE ss.ss_item_sk = i.i_item_sk
+              AND ss.ss_sold_date_sk = d.d_date_sk
+              AND d.d_year = 1998
+            GROUP BY i.i_brand, d.d_moy
+        ) AS v
+        ORDER BY v.brand, v.moy
+        LIMIT 100
+        """,
+        tags=frozenset({"window", "derived_table"}),
+    ),
+    Query(
+        "cross_channel_ratio", (90,),
+        """
+        SELECT am.cnt AS am_count, pm.cnt AS pm_count
+        FROM (
+            SELECT count(*) AS cnt
+            FROM web_sales ws, time_dim t
+            WHERE ws.ws_sold_date_sk = t.t_time_sk AND t.t_hour < 12
+        ) AS am, (
+            SELECT count(*) AS cnt
+            FROM web_sales ws, time_dim t
+            WHERE ws.ws_sold_date_sk = t.t_time_sk AND t.t_hour >= 12
+        ) AS pm
+        """,
+        tags=frozenset({"derived_table", "implicit_cross_join"}),
+    ),
+    Query(
+        "category_rollup", (18, 22, 67, 77),
+        """
+        SELECT i.i_category, i.i_class,
+               sum(ss.ss_ext_sales_price) AS total,
+               count(*) AS cnt
+        FROM store_sales ss, item i
+        WHERE ss.ss_item_sk = i.i_item_sk
+        GROUP BY ROLLUP (i.i_category, i.i_class)
+        ORDER BY i.i_category, i.i_class
+        LIMIT 100
+        """,
+        tags=frozenset({"rollup"}),
+    ),
+    Query(
+        "income_band_rollup", (84,),
+        """
+        SELECT c.c_customer_id, c.c_last_name
+        FROM customer c, household_demographics hd, income_band ib
+        WHERE c.c_current_hdemo_sk = hd.hd_demo_sk
+          AND hd.hd_income_band_sk = ib.ib_income_band_sk
+          AND ib.ib_lower_bound >= 30000
+          AND ib.ib_upper_bound <= 80000
+        ORDER BY c.c_customer_id
+        LIMIT 100
+        """,
+    ),
+]
+
+
+def queries_by_id() -> dict[str, Query]:
+    return {q.id: q for q in QUERIES}

@@ -1,0 +1,380 @@
+"""The TPC-DS schema, scaled for the simulated cluster.
+
+All 24 TPC-DS tables with their load-bearing columns: surrogate keys,
+join keys, the measures and attributes our query suite touches.  Fact
+tables are hash-distributed on their item keys and range-partitioned by
+the sold-date surrogate key (quarterly partitions), which is what the
+partition elimination experiments exercise.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.database import Database
+from repro.catalog.schema import (
+    Column,
+    DistributionPolicy,
+    Index,
+    PartitionScheme,
+    RangePartition,
+    Table,
+)
+from repro.catalog.types import DATE, DECIMAL, FLOAT, INT, TEXT
+
+#: Three years of dates: surrogate keys 1..1096.
+DATE_SK_LO = 1
+DATE_SK_HI = 1096
+QUARTER_DAYS = 92
+
+FACT_TABLES = (
+    "store_sales",
+    "store_returns",
+    "catalog_sales",
+    "catalog_returns",
+    "web_sales",
+    "web_returns",
+    "inventory",
+)
+
+
+def _date_partitions() -> PartitionScheme:
+    parts = []
+    lo = DATE_SK_LO
+    idx = 0
+    while lo <= DATE_SK_HI:
+        hi = min(lo + QUARTER_DAYS, DATE_SK_HI + 1)
+        parts.append(RangePartition(f"q{idx}", lo, hi))
+        lo = hi
+        idx += 1
+    return None if not parts else PartitionScheme("sold_date_sk", tuple(parts))
+
+
+def _partition_on(column: str) -> PartitionScheme:
+    scheme = _date_partitions()
+    return PartitionScheme(column, scheme.partitions)
+
+
+def build_schema(db: Database | None = None) -> Database:
+    """Create all TPC-DS tables in a (new or given) database."""
+    db = db or Database(name="tpcds", system_id="GPDB")
+
+    db.create_table(Table(
+        "date_dim",
+        [
+            Column("d_date_sk", INT, nullable=False),
+            Column("d_date", DATE),
+            Column("d_year", INT),
+            Column("d_moy", INT),
+            Column("d_dom", INT),
+            Column("d_qoy", INT),
+            Column("d_day_name", TEXT),
+            Column("d_month_seq", INT),
+        ],
+        distribution_columns=("d_date_sk",),
+        indexes=[Index("date_dim_sk_idx", "d_date_sk")],
+    ))
+
+    db.create_table(Table(
+        "time_dim",
+        [
+            Column("t_time_sk", INT, nullable=False),
+            Column("t_hour", INT),
+            Column("t_minute", INT),
+            Column("t_am_pm", TEXT),
+        ],
+        distribution_columns=("t_time_sk",),
+    ))
+
+    db.create_table(Table(
+        "item",
+        [
+            Column("i_item_sk", INT, nullable=False),
+            Column("i_item_id", TEXT),
+            Column("i_brand_id", INT),
+            Column("i_brand", TEXT),
+            Column("i_class", TEXT),
+            Column("i_category", TEXT),
+            Column("i_manufact_id", INT),
+            Column("i_current_price", FLOAT),
+            Column("i_color", TEXT),
+        ],
+        distribution_columns=("i_item_sk",),
+        indexes=[Index("item_sk_idx", "i_item_sk")],
+    ))
+
+    db.create_table(Table(
+        "customer",
+        [
+            Column("c_customer_sk", INT, nullable=False),
+            Column("c_customer_id", TEXT),
+            Column("c_current_addr_sk", INT),
+            Column("c_current_cdemo_sk", INT),
+            Column("c_current_hdemo_sk", INT),
+            Column("c_first_name", TEXT),
+            Column("c_last_name", TEXT),
+            Column("c_birth_year", INT),
+            Column("c_preferred_cust_flag", TEXT),
+        ],
+        distribution_columns=("c_customer_sk",),
+    ))
+
+    db.create_table(Table(
+        "customer_address",
+        [
+            Column("ca_address_sk", INT, nullable=False),
+            Column("ca_city", TEXT),
+            Column("ca_county", TEXT),
+            Column("ca_state", TEXT),
+            Column("ca_zip", TEXT),
+            Column("ca_gmt_offset", INT),
+        ],
+        distribution_columns=("ca_address_sk",),
+    ))
+
+    db.create_table(Table(
+        "customer_demographics",
+        [
+            Column("cd_demo_sk", INT, nullable=False),
+            Column("cd_gender", TEXT),
+            Column("cd_marital_status", TEXT),
+            Column("cd_education_status", TEXT),
+            Column("cd_purchase_estimate", INT),
+        ],
+        distribution_columns=("cd_demo_sk",),
+    ))
+
+    db.create_table(Table(
+        "household_demographics",
+        [
+            Column("hd_demo_sk", INT, nullable=False),
+            Column("hd_income_band_sk", INT),
+            Column("hd_buy_potential", TEXT),
+            Column("hd_dep_count", INT),
+            Column("hd_vehicle_count", INT),
+        ],
+        distribution_columns=("hd_demo_sk",),
+    ))
+
+    db.create_table(Table(
+        "income_band",
+        [
+            Column("ib_income_band_sk", INT, nullable=False),
+            Column("ib_lower_bound", INT),
+            Column("ib_upper_bound", INT),
+        ],
+        distribution=DistributionPolicy.REPLICATED,
+    ))
+
+    db.create_table(Table(
+        "store",
+        [
+            Column("s_store_sk", INT, nullable=False),
+            Column("s_store_id", TEXT),
+            Column("s_store_name", TEXT),
+            Column("s_state", TEXT),
+            Column("s_county", TEXT),
+            Column("s_number_employees", INT),
+        ],
+        distribution_columns=("s_store_sk",),
+    ))
+
+    db.create_table(Table(
+        "warehouse",
+        [
+            Column("w_warehouse_sk", INT, nullable=False),
+            Column("w_warehouse_name", TEXT),
+            Column("w_state", TEXT),
+        ],
+        distribution=DistributionPolicy.REPLICATED,
+    ))
+
+    db.create_table(Table(
+        "call_center",
+        [
+            Column("cc_call_center_sk", INT, nullable=False),
+            Column("cc_name", TEXT),
+            Column("cc_manager", TEXT),
+        ],
+        distribution=DistributionPolicy.REPLICATED,
+    ))
+
+    db.create_table(Table(
+        "catalog_page",
+        [
+            Column("cp_catalog_page_sk", INT, nullable=False),
+            Column("cp_department", TEXT),
+            Column("cp_type", TEXT),
+        ],
+        distribution_columns=("cp_catalog_page_sk",),
+    ))
+
+    db.create_table(Table(
+        "web_site",
+        [
+            Column("web_site_sk", INT, nullable=False),
+            Column("web_name", TEXT),
+            Column("web_class", TEXT),
+        ],
+        distribution=DistributionPolicy.REPLICATED,
+    ))
+
+    db.create_table(Table(
+        "web_page",
+        [
+            Column("wp_web_page_sk", INT, nullable=False),
+            Column("wp_type", TEXT),
+            Column("wp_char_count", INT),
+        ],
+        distribution=DistributionPolicy.REPLICATED,
+    ))
+
+    db.create_table(Table(
+        "promotion",
+        [
+            Column("p_promo_sk", INT, nullable=False),
+            Column("p_channel_email", TEXT),
+            Column("p_channel_tv", TEXT),
+        ],
+        distribution=DistributionPolicy.REPLICATED,
+    ))
+
+    db.create_table(Table(
+        "reason",
+        [
+            Column("r_reason_sk", INT, nullable=False),
+            Column("r_reason_desc", TEXT),
+        ],
+        distribution=DistributionPolicy.REPLICATED,
+    ))
+
+    db.create_table(Table(
+        "ship_mode",
+        [
+            Column("sm_ship_mode_sk", INT, nullable=False),
+            Column("sm_type", TEXT),
+            Column("sm_carrier", TEXT),
+        ],
+        distribution=DistributionPolicy.REPLICATED,
+    ))
+
+    # ------------------------------------------------------------------
+    # Fact tables: hash-distributed, range-partitioned by sold date.
+    # ------------------------------------------------------------------
+    db.create_table(Table(
+        "store_sales",
+        [
+            Column("ss_sold_date_sk", INT),
+            Column("ss_sold_time_sk", INT),
+            Column("ss_item_sk", INT, nullable=False),
+            Column("ss_customer_sk", INT),
+            Column("ss_cdemo_sk", INT),
+            Column("ss_hdemo_sk", INT),
+            Column("ss_addr_sk", INT),
+            Column("ss_store_sk", INT),
+            Column("ss_promo_sk", INT),
+            Column("ss_ticket_number", INT),
+            Column("ss_quantity", INT),
+            Column("ss_sales_price", FLOAT),
+            Column("ss_ext_sales_price", FLOAT),
+            Column("ss_net_profit", FLOAT),
+        ],
+        distribution_columns=("ss_item_sk",),
+        partitioning=_partition_on("ss_sold_date_sk"),
+    ))
+
+    db.create_table(Table(
+        "store_returns",
+        [
+            Column("sr_returned_date_sk", INT),
+            Column("sr_item_sk", INT, nullable=False),
+            Column("sr_customer_sk", INT),
+            Column("sr_ticket_number", INT),
+            Column("sr_reason_sk", INT),
+            Column("sr_return_quantity", INT),
+            Column("sr_return_amt", FLOAT),
+        ],
+        distribution_columns=("sr_item_sk",),
+        partitioning=_partition_on("sr_returned_date_sk"),
+    ))
+
+    db.create_table(Table(
+        "catalog_sales",
+        [
+            Column("cs_sold_date_sk", INT),
+            Column("cs_item_sk", INT, nullable=False),
+            Column("cs_bill_customer_sk", INT),
+            Column("cs_ship_customer_sk", INT),
+            Column("cs_call_center_sk", INT),
+            Column("cs_catalog_page_sk", INT),
+            Column("cs_ship_mode_sk", INT),
+            Column("cs_warehouse_sk", INT),
+            Column("cs_order_number", INT),
+            Column("cs_quantity", INT),
+            Column("cs_sales_price", FLOAT),
+            Column("cs_ext_sales_price", FLOAT),
+            Column("cs_net_profit", FLOAT),
+        ],
+        distribution_columns=("cs_item_sk",),
+        partitioning=_partition_on("cs_sold_date_sk"),
+    ))
+
+    db.create_table(Table(
+        "catalog_returns",
+        [
+            Column("cr_returned_date_sk", INT),
+            Column("cr_item_sk", INT, nullable=False),
+            Column("cr_refunded_customer_sk", INT),
+            Column("cr_order_number", INT),
+            Column("cr_return_quantity", INT),
+            Column("cr_return_amount", FLOAT),
+        ],
+        distribution_columns=("cr_item_sk",),
+        partitioning=_partition_on("cr_returned_date_sk"),
+    ))
+
+    db.create_table(Table(
+        "web_sales",
+        [
+            Column("ws_sold_date_sk", INT),
+            Column("ws_item_sk", INT, nullable=False),
+            Column("ws_bill_customer_sk", INT),
+            Column("ws_web_site_sk", INT),
+            Column("ws_web_page_sk", INT),
+            Column("ws_ship_mode_sk", INT),
+            Column("ws_warehouse_sk", INT),
+            Column("ws_order_number", INT),
+            Column("ws_quantity", INT),
+            Column("ws_sales_price", FLOAT),
+            Column("ws_ext_sales_price", FLOAT),
+            Column("ws_net_profit", FLOAT),
+        ],
+        distribution_columns=("ws_item_sk",),
+        partitioning=_partition_on("ws_sold_date_sk"),
+    ))
+
+    db.create_table(Table(
+        "web_returns",
+        [
+            Column("wr_returned_date_sk", INT),
+            Column("wr_item_sk", INT, nullable=False),
+            Column("wr_refunded_customer_sk", INT),
+            Column("wr_order_number", INT),
+            Column("wr_return_quantity", INT),
+            Column("wr_return_amt", FLOAT),
+        ],
+        distribution_columns=("wr_item_sk",),
+        partitioning=_partition_on("wr_returned_date_sk"),
+    ))
+
+    db.create_table(Table(
+        "inventory",
+        [
+            Column("inv_date_sk", INT),
+            Column("inv_item_sk", INT, nullable=False),
+            Column("inv_warehouse_sk", INT),
+            Column("inv_quantity_on_hand", INT),
+        ],
+        distribution_columns=("inv_item_sk",),
+        partitioning=_partition_on("inv_date_sk"),
+    ))
+
+    return db

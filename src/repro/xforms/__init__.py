@@ -1,0 +1,18 @@
+"""Transformation rules (Section 3, 'Transformations').
+
+Each rule is a self-contained component that can be explicitly activated
+or deactivated via :class:`repro.config.OptimizerConfig`.  Exploration
+rules produce equivalent logical expressions; implementation rules produce
+physical implementations.
+"""
+
+from repro.xforms.rule import Rule, RuleContext
+from repro.xforms.registry import all_rules, default_rule_set, rules_by_name
+
+__all__ = [
+    "Rule",
+    "RuleContext",
+    "all_rules",
+    "default_rule_set",
+    "rules_by_name",
+]

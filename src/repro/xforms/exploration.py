@@ -1,0 +1,141 @@
+"""Exploration rules: generate logically equivalent expressions.
+
+These are the rules triggered in step 1 of the optimization workflow
+(Section 4.1): e.g. Join Commutativity generates ``InnerJoin[2,1]`` from
+``InnerJoin[1,2]`` (Figure 5).
+"""
+
+from __future__ import annotations
+
+from repro.memo.memo import GroupExpression, group_ref
+from repro.ops.expression import Expression
+from repro.ops.logical import AggStage, JoinKind, LogicalGbAgg, LogicalJoin
+from repro.ops.scalar import AggFunc, conjuncts, make_conj
+from repro.xforms.rule import Rule, RuleContext
+
+
+class JoinCommutativity(Rule):
+    """InnerJoin(A, B) -> InnerJoin(B, A)."""
+
+    name = "JoinCommutativity"
+    is_exploration = True
+
+    def matches(self, gexpr: GroupExpression) -> bool:
+        return isinstance(gexpr.op, LogicalJoin) and gexpr.op.kind is JoinKind.INNER
+
+    def apply(self, gexpr: GroupExpression, ctx: RuleContext):
+        left, right = gexpr.child_groups
+        return [
+            Expression(
+                LogicalJoin(JoinKind.INNER, gexpr.op.condition),
+                [group_ref(ctx.memo, right), group_ref(ctx.memo, left)],
+            )
+        ]
+
+
+class JoinAssociativity(Rule):
+    """InnerJoin(InnerJoin(A, B), C) -> InnerJoin(A, InnerJoin(B, C)).
+
+    Join conditions are re-partitioned by the columns they reference; the
+    rewrite is skipped when it would introduce a cross product.
+    """
+
+    name = "JoinAssociativity"
+    is_exploration = True
+
+    def matches(self, gexpr: GroupExpression) -> bool:
+        return isinstance(gexpr.op, LogicalJoin) and gexpr.op.kind is JoinKind.INNER
+
+    def apply(self, gexpr: GroupExpression, ctx: RuleContext):
+        memo = ctx.memo
+        g_ab, g_c = gexpr.child_groups
+        results = []
+        for inner in memo.group(g_ab).logical_gexprs():
+            if not (
+                isinstance(inner.op, LogicalJoin)
+                and inner.op.kind is JoinKind.INNER
+            ):
+                continue
+            g_a, g_b = inner.child_groups
+            cols_a = {c.id for c in memo.group(g_a).output_cols}
+            cols_bc = {c.id for c in memo.group(g_b).output_cols}
+            cols_bc |= {c.id for c in memo.group(g_c).output_cols}
+            all_conjuncts = conjuncts(gexpr.op.condition) + conjuncts(
+                inner.op.condition
+            )
+            bc_conj = [
+                c for c in all_conjuncts if c.used_columns() <= cols_bc
+            ]
+            top_conj = [
+                c for c in all_conjuncts if not (c.used_columns() <= cols_bc)
+            ]
+            if not bc_conj:
+                continue  # avoid cross products
+            if not top_conj:
+                continue  # the result would cross-join A with (B JOIN C)
+            new_inner = Expression(
+                LogicalJoin(JoinKind.INNER, make_conj(bc_conj)),
+                [group_ref(memo, g_b), group_ref(memo, g_c)],
+            )
+            results.append(
+                Expression(
+                    LogicalJoin(JoinKind.INNER, make_conj(top_conj)),
+                    [group_ref(memo, g_a), new_inner],
+                )
+            )
+        return results
+
+
+#: Aggregates that can be computed in two phases (partial + final).
+_SPLITTABLE = {"count", "sum", "min", "max"}
+
+_FINAL_FUNC = {"count": "sum", "sum": "sum", "min": "min", "max": "max"}
+
+
+class SplitGbAgg(Rule):
+    """GbAgg -> GbAggFinal(GbAggPartial(child)): two-phase MPP aggregation.
+
+    The partial stage pre-aggregates locally on each segment before any
+    motion, drastically shrinking redistributed/gathered row counts.
+    """
+
+    name = "SplitGbAgg"
+    is_exploration = True
+
+    def matches(self, gexpr: GroupExpression) -> bool:
+        op = gexpr.op
+        return (
+            isinstance(op, LogicalGbAgg)
+            and op.stage is AggStage.GLOBAL
+            and all(
+                a.name in _SPLITTABLE and not a.distinct for a, _c in op.aggs
+            )
+        )
+
+    def apply(self, gexpr: GroupExpression, ctx: RuleContext):
+        from repro.ops.scalar import ColRefExpr
+
+        op: LogicalGbAgg = gexpr.op
+        (child,) = gexpr.child_groups
+        partial_aggs = []
+        final_aggs = []
+        for agg, out_col in op.aggs:
+            partial_col = ctx.column_factory.next(
+                f"p_{out_col.name}", agg.dtype
+            )
+            partial_aggs.append((agg, partial_col))
+            final_aggs.append(
+                (
+                    AggFunc(_FINAL_FUNC[agg.name], ColRefExpr(partial_col)),
+                    out_col,
+                )
+            )
+        partial = Expression(
+            LogicalGbAgg(op.group_cols, partial_aggs, AggStage.PARTIAL),
+            [group_ref(ctx.memo, child)],
+        )
+        final = Expression(
+            LogicalGbAgg(op.group_cols, final_aggs, AggStage.FINAL),
+            [partial],
+        )
+        return [final]

@@ -1,0 +1,59 @@
+"""Rule framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.memo.memo import GroupExpression, Memo
+from repro.ops.expression import Expression
+
+if TYPE_CHECKING:
+    from repro.config import OptimizerConfig
+    from repro.ops.scalar import ColumnFactory
+
+
+@dataclass
+class RuleContext:
+    """Shared state rules may consult while transforming.
+
+    ``cte_delivered`` maps cte_id to the distribution spec the optimized
+    producer plan delivers (used by the CTEConsumer implementation rule).
+    """
+
+    memo: Memo
+    config: "OptimizerConfig"
+    column_factory: "ColumnFactory"
+    cte_delivered: dict[int, object] = field(default_factory=dict)
+    cte_producer_cols: dict[int, tuple] = field(default_factory=dict)
+    #: Callable(table_name) -> TableStats, for rules that estimate rows
+    #: at application time (e.g. index-scan fetch estimates).
+    table_stats: Optional[object] = None
+
+
+class Rule:
+    """A transformation rule.
+
+    ``apply`` returns new expression trees whose leaves may be
+    :class:`repro.memo.memo.GroupRef` nodes referencing existing groups;
+    the search engine copies the results into the source group
+    (Section 4.1: "results of applying transformation rules are copied-in
+    to the Memo").
+    """
+
+    name = "Rule"
+    is_exploration = False
+    is_implementation = False
+
+    def matches(self, gexpr: GroupExpression) -> bool:
+        """Cheap root-operator test."""
+        raise NotImplementedError
+
+    def apply(
+        self, gexpr: GroupExpression, ctx: RuleContext
+    ) -> list[Expression]:
+        """Produce equivalent expressions for ``gexpr``'s group."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name

@@ -1,0 +1,86 @@
+"""CLI tests (python -m repro)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+SQL = ("SELECT d.d_year, count(*) AS n FROM date_dim d "
+       "GROUP BY d.d_year ORDER BY d.d_year")
+ARGS = ["--scale", "0.05", "--segments", "4"]
+
+
+class TestCLI:
+    def test_explain(self, capsys):
+        assert main(["explain", SQL] + ARGS) == 0
+        out = capsys.readouterr().out
+        assert "HashAgg" in out or "StreamAgg" in out
+        assert "rows=" in out
+
+    def test_explain_planner(self, capsys):
+        assert main(["explain", SQL, "--planner"] + ARGS) == 0
+        assert "->" in capsys.readouterr().out
+
+    def test_run_prints_rows(self, capsys):
+        assert main(["run", SQL] + ARGS) == 0
+        out = capsys.readouterr().out
+        assert "d_year | n" in out
+        assert "1998 | 365" in out
+        assert "simulated seconds" in out
+
+    def test_run_max_rows_truncates(self, capsys):
+        assert main([
+            "run", "SELECT d.d_date_sk FROM date_dim d ORDER BY d.d_date_sk",
+            "--max-rows", "3",
+        ] + ARGS) == 0
+        out = capsys.readouterr().out
+        assert "..." in out
+
+    def test_memo_dump(self, capsys):
+        assert main(["memo", SQL] + ARGS) == 0
+        out = capsys.readouterr().out
+        assert "GROUP" in out and "groups" in out
+
+    def test_disable_feature_flag(self, capsys):
+        sql = ("SELECT i.i_item_id FROM item i WHERE i.i_current_price > "
+               "(SELECT avg(i2.i_current_price) FROM item i2 "
+               "WHERE i2.i_category = i.i_category)")
+        assert main(["explain", sql, "--disable", "decorrelation"] + ARGS) == 0
+        assert "Correlated" in capsys.readouterr().out
+
+    def test_disable_rule_by_name(self, capsys):
+        assert main([
+            "explain",
+            "SELECT ss.ss_item_sk FROM store_sales ss, item i "
+            "WHERE ss.ss_item_sk = i.i_item_sk",
+            "--disable", "InnerJoin2HashJoin",
+        ] + ARGS) == 0
+        out = capsys.readouterr().out
+        assert "HashJoin" not in out
+        assert "NLJoin" in out or "MergeJoin" in out
+
+    def test_support_counts(self, capsys):
+        assert main(["support"]) == 0
+        out = capsys.readouterr().out
+        assert "111" in out and "31" in out and "12" in out and "19" in out
+
+    def test_dump_metadata(self, tmp_path, capsys):
+        path = tmp_path / "meta.dxl"
+        assert main(["dump-metadata", str(path)] + ARGS) == 0
+        assert path.exists()
+        assert "Relation" in path.read_text(encoding="utf-8")
+
+    def test_capture_and_replay(self, tmp_path, capsys):
+        dump = tmp_path / "dump.dxl"
+        assert main(["capture", str(dump), SQL] + ARGS) == 0
+        assert dump.exists()
+        assert main(["replay", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "plan matches the dump's expected plan: True" in out
+
+    def test_sql_error_is_reported(self, capsys):
+        rc = main(["explain", "SELEKT nothing"] + ARGS)
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,98 @@
+"""Cardinality-estimation confidence scores.
+
+Section 4.1 names computing confidence scores for cardinality estimation
+in the compact Memo as ongoing work; this implements and tests the
+multiplicative-damping scheme: analyzed base tables ~1.0, every
+default-based estimation step damps, and deeper derivations are less
+confident than shallower ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.optimizer import Orca
+
+from tests.conftest import make_small_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_small_db()
+
+
+def confidence(db, sql, **config_kwargs):
+    orca = Orca(db, OptimizerConfig(segments=8, **config_kwargs))
+    return orca.optimize(sql).stats_confidence
+
+
+class TestConfidence:
+    def test_plain_scan_is_fully_confident(self, db):
+        assert confidence(db, "SELECT a FROM t1") == pytest.approx(1.0)
+
+    def test_histogram_filter_barely_damps(self, db):
+        c = confidence(db, "SELECT a FROM t1 WHERE b > 50")
+        assert 0.9 < c < 1.0
+
+    def test_like_filter_damps_hard(self, db):
+        c_hist = confidence(db, "SELECT a FROM t1 WHERE b > 50")
+        c_like = confidence(db, "SELECT a FROM t1 WHERE c LIKE 'x%'")
+        assert c_like < c_hist
+
+    def test_each_join_damps(self, db):
+        c1 = confidence(db, "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b")
+        c2 = confidence(
+            db,
+            "SELECT x.a FROM t1 x, t2 y, t2 z "
+            "WHERE x.a = y.b AND y.a = z.b",
+        )
+        assert c2 < c1 < 1.0
+
+    def test_more_conjuncts_less_confident(self, db):
+        one = confidence(db, "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b")
+        two = confidence(
+            db, "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b AND t1.b = t2.a"
+        )
+        assert two < one
+
+    def test_unanalyzed_table_low_confidence(self):
+        from repro.catalog import Column, Database, INT, Table
+
+        db = Database()
+        db.create_table(Table("raw", [Column("x", INT)]))
+        db.insert("raw", [(i,) for i in range(100)])
+        # no ANALYZE
+        c = confidence(db, "SELECT x FROM raw WHERE x > 5")
+        assert c < 0.5
+
+    def test_correlated_apply_damps_hard(self, db):
+        sql = (
+            "SELECT a FROM t1 WHERE b > "
+            "(SELECT count(*) FROM t2 WHERE t2.a = t1.a)"
+        )
+        # count subqueries stay correlated (Apply survives preprocessing)
+        c = confidence(db, sql)
+        assert c < 0.5
+
+    def test_decorrelated_more_confident_than_apply(self, db):
+        sql = (
+            "SELECT a FROM t1 WHERE b > "
+            "(SELECT avg(b) FROM t2 WHERE t2.a = t1.a)"
+        )
+        with_rewrite = confidence(db, sql)
+        without = confidence(db, sql, enable_decorrelation=False)
+        assert with_rewrite > without
+
+    def test_bounds(self, db):
+        for sql in (
+            "SELECT a FROM t1",
+            "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b AND t1.c LIKE 'x%'",
+        ):
+            c = confidence(db, sql)
+            assert 0.0 <= c <= 1.0
+
+    def test_group_by_damps(self, db):
+        scan = confidence(db, "SELECT a FROM t1")
+        grouped = confidence(db, "SELECT c, count(*) FROM t1 GROUP BY c")
+        assert grouped < scan

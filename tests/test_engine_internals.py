@@ -1,0 +1,173 @@
+"""Low-level engine tests: DRows, cluster hashing, motions in isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.types import INT, TEXT
+from repro.engine.cluster import Cluster, hash_bucket, stable_hash
+from repro.engine.executor import (
+    DRows,
+    Executor,
+    REPLICATED,
+    SEGMENTED,
+    SINGLETON,
+    _positions,
+    _sort_rows,
+)
+from repro.errors import ExecutionError
+from repro.ops.scalar import ColRef
+from repro.props.order import SortKey
+
+from tests.conftest import make_small_db
+
+
+def cols(*names):
+    return [ColRef(i, n, INT) for i, n in enumerate(names)]
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash(5) == stable_hash(5)
+
+    def test_none_is_zero(self):
+        assert stable_hash(None) == 0
+
+    def test_bucket_range(self):
+        for v in range(100):
+            assert 0 <= hash_bucket([v], 8) < 8
+
+    def test_multi_column_key(self):
+        assert hash_bucket([1, 2], 8) == hash_bucket([1, 2], 8)
+        buckets = {hash_bucket([i, i + 1], 64) for i in range(200)}
+        assert len(buckets) > 16  # spreads
+
+
+class TestClusterDistribution:
+    def test_hash_distribution_partitions_all_rows(self):
+        cluster = Cluster(db=None, segments=4)
+        rows = [(i, i * 2) for i in range(100)]
+        buckets = cluster.distribute_rows(rows, [0])
+        assert sum(len(b) for b in buckets) == 100
+        # same key -> same bucket
+        again = cluster.distribute_rows(rows, [0])
+        assert buckets == again
+
+    def test_round_robin_balances(self):
+        cluster = Cluster(db=None, segments=4)
+        buckets = cluster.distribute_rows([(i,) for i in range(100)], None)
+        assert all(len(b) == 25 for b in buckets)
+
+
+class TestDRows:
+    def test_total_and_single_copy(self):
+        d = DRows(SEGMENTED, cols("a"), [[(1,)], [(2,), (3,)]])
+        assert d.total_rows() == 3
+        assert sorted(d.single_copy()) == [(1,), (2,), (3,)]
+
+    def test_replicated_single_copy(self):
+        d = DRows(REPLICATED, cols("a"), [[(1,), (2,)]])
+        assert d.total_rows() == 2
+        assert d.single_copy() == [(1,), (2,)]
+
+    def test_width(self):
+        d = DRows(SINGLETON, [ColRef(0, "t", TEXT), ColRef(1, "i", INT)], [[]])
+        assert d.width() == TEXT.width + INT.width
+
+
+class TestHelpers:
+    def test_positions_maps_by_id(self):
+        a, b = cols("a", "b")
+        assert _positions([a, b], [b, a]) == [1, 0]
+
+    def test_positions_missing_column(self):
+        (a,) = cols("a")
+        with pytest.raises(ExecutionError):
+            _positions([a], [ColRef(99, "zz", INT)])
+
+    def test_sort_rows_multi_key(self):
+        a, b = cols("a", "b")
+        rows = [(1, 2), (1, 1), (0, 9)]
+        out = _sort_rows(rows, [a, b], [SortKey(0), SortKey(1, False)])
+        assert out == [(0, 9), (1, 2), (1, 1)]
+
+    def test_sort_rows_nulls_last(self):
+        (a,) = cols("a")
+        out = _sort_rows([(None,), (2,), (1,)], [a], [SortKey(0)])
+        assert out == [(1,), (2,), (None,)]
+
+
+class TestMotionsInIsolation:
+    """Drive single motions through hand-built plans."""
+
+    def plan_scan(self, db, table):
+        from repro.ops.physical import PhysicalTableScan
+        from repro.props.required import DerivedProps
+        from repro.search.plan import PlanNode
+
+        t = db.table(table)
+        refs = [ColRef(i, c.name, c.dtype) for i, c in enumerate(t.columns)]
+        op = PhysicalTableScan(t, refs, table)
+        return PlanNode(
+            op=op, children=[], output_cols=refs,
+            rows_estimate=db.row_count(table),
+            delivered=DerivedProps(op.table_dist()),
+        ), refs
+
+    def motion(self, db, motion_op, child_plan, cols):
+        from repro.props.required import DerivedProps
+        from repro.props.distribution import RANDOM
+        from repro.search.plan import PlanNode
+
+        return PlanNode(
+            op=motion_op, children=[child_plan], output_cols=cols,
+            rows_estimate=child_plan.rows_estimate,
+            delivered=DerivedProps(RANDOM),
+        )
+
+    def test_gather_collects_everything(self):
+        from repro.ops.physical import PhysicalGather
+
+        db = make_small_db(t1_rows=200, t2_rows=50)
+        scan, refs = self.plan_scan(db, "t2")
+        plan = self.motion(db, PhysicalGather(), scan, refs)
+        executor = Executor(Cluster(db, segments=4))
+        out = executor.execute(plan, refs)
+        assert sorted(out.rows) == sorted(db.scan("t2"))
+        assert executor.metrics.rows_moved == 50
+        assert executor.metrics.net_bytes > 0
+
+    def test_broadcast_charges_fanout(self):
+        from repro.ops.physical import PhysicalBroadcast, PhysicalGather
+
+        db = make_small_db(t1_rows=200, t2_rows=50)
+        scan, refs = self.plan_scan(db, "t2")
+        bcast = self.motion(db, PhysicalBroadcast(), scan, refs)
+        executor = Executor(Cluster(db, segments=4))
+        out = executor.execute(bcast, refs)
+        assert sorted(out.rows) == sorted(db.scan("t2"))
+        assert executor.metrics.rows_moved == 50 * 4
+
+    def test_redistribute_colocates_keys(self):
+        from repro.ops.physical import PhysicalRedistribute
+
+        db = make_small_db(t1_rows=200, t2_rows=50)
+        scan, refs = self.plan_scan(db, "t2")
+        redist = self.motion(
+            db, PhysicalRedistribute([refs[1]]), scan, refs
+        )
+        executor = Executor(Cluster(db, segments=4))
+        executor.metrics = executor.metrics  # default
+        # run via internal exec to inspect buckets
+        executor._selector_values = {}
+        executor._cte_store = {}
+        executor._wanted_selectors = set()
+        from repro.engine.metrics import ExecutionMetrics
+
+        executor.metrics = ExecutionMetrics(segments=4)
+        result = executor._exec(redist)
+        assert result.kind == SEGMENTED
+        for seg, bucket in enumerate(result.buckets):
+            for row in bucket:
+                assert hash_bucket([row[1]], 4) == seg

@@ -1,0 +1,300 @@
+"""Preprocessing tests: pushdown, decorrelation, partition elimination."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.ops.logical import (
+    ApplyKind,
+    JoinKind,
+    LogicalApply,
+    LogicalGbAgg,
+    LogicalGet,
+    LogicalJoin,
+    LogicalSelect,
+)
+from repro.sql.translator import Translator
+from repro.xforms.normalization import (
+    attach_dpe_hints,
+    decorrelate,
+    preprocess,
+    push_down_predicates,
+    static_partition_elimination,
+)
+
+from tests.conftest import make_partitioned_db, make_small_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_small_db()
+
+
+@pytest.fixture(scope="module")
+def part_db():
+    return make_partitioned_db()
+
+
+def tree_of(db, sql):
+    return Translator(db).translate_sql(sql).tree
+
+
+def find(tree, op_type):
+    return [n for n in tree.walk() if isinstance(n.op, op_type)]
+
+
+class TestPredicatePushdown:
+    def test_single_table_predicates_sink_to_sides(self, db):
+        tree = tree_of(
+            db,
+            "SELECT t1.a FROM t1, t2 "
+            "WHERE t1.a = t2.b AND t1.b > 5 AND t2.a < 100",
+        )
+        out = push_down_predicates(tree)
+        join = find(out, LogicalJoin)[0]
+        # each side now has its own Select directly below the join
+        assert isinstance(join.children[0].op, LogicalSelect)
+        assert isinstance(join.children[1].op, LogicalSelect)
+
+    def test_join_predicate_moves_into_condition(self, db):
+        tree = tree_of(db, "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b")
+        out = push_down_predicates(tree)
+        join = find(out, LogicalJoin)[0]
+        assert join.op.condition is not None
+        assert not isinstance(out.op, LogicalSelect)
+
+    def test_selects_merge(self, db):
+        from repro.ops import Expression
+        from repro.ops.scalar import ColRefExpr, Comparison, Literal
+
+        tree = tree_of(db, "SELECT a FROM t1 WHERE b > 5")
+        col = tree.output_columns()[0]
+        outer = Expression(
+            LogicalSelect(Comparison("<", ColRefExpr(col), Literal(10))),
+            [tree],
+        )
+        out = push_down_predicates(outer)
+        assert isinstance(out.op, LogicalSelect)
+        assert not isinstance(out.children[0].op, LogicalSelect)
+
+    def test_left_join_inner_side_predicate_stays(self, db):
+        tree = tree_of(
+            db,
+            "SELECT t1.a FROM t1 LEFT JOIN t2 ON t1.a = t2.a "
+            "WHERE t2.b > 5",
+        )
+        out = push_down_predicates(tree)
+        # predicate on the nullable side must NOT sink below the left join
+        assert isinstance(out.op, LogicalSelect)
+
+    def test_left_join_outer_side_predicate_sinks(self, db):
+        tree = tree_of(
+            db,
+            "SELECT t1.a FROM t1 LEFT JOIN t2 ON t1.a = t2.a "
+            "WHERE t1.b > 5",
+        )
+        out = push_down_predicates(tree)
+        join = find(out, LogicalJoin)[0]
+        assert isinstance(join.children[0].op, LogicalSelect)
+
+    def test_pushdown_through_gbagg_on_group_cols(self, db):
+        from repro.ops import Expression
+        from repro.ops.scalar import ColRefExpr, Comparison, Literal
+
+        inner = tree_of(db, "SELECT c, count(*) AS n FROM t1 GROUP BY c")
+        c_col = inner.output_columns()[0]
+        outer = Expression(
+            LogicalSelect(Comparison("=", ColRefExpr(c_col), Literal("x"))),
+            [inner],
+        )
+        out = push_down_predicates(outer)
+        agg = find(out, LogicalGbAgg)[0]
+        assert isinstance(agg.children[0].op, LogicalSelect)
+
+    def test_having_on_agg_stays_above(self, db):
+        tree = tree_of(
+            db, "SELECT c FROM t1 GROUP BY c HAVING count(*) > 2"
+        )
+        out = push_down_predicates(tree)
+        assert isinstance(out.op, LogicalSelect)
+        assert isinstance(out.children[0].op, LogicalGbAgg)
+
+
+class TestDecorrelation:
+    def test_exists_to_semi_join(self, db):
+        tree = tree_of(
+            db,
+            "SELECT a FROM t1 WHERE EXISTS "
+            "(SELECT 1 FROM t2 WHERE t2.b = t1.a AND t2.a > 500)",
+        )
+        out = decorrelate(tree)
+        assert not find(out, LogicalApply)
+        joins = find(out, LogicalJoin)
+        assert any(j.op.kind is JoinKind.SEMI for j in joins)
+
+    def test_not_exists_to_anti_join(self, db):
+        tree = tree_of(
+            db,
+            "SELECT a FROM t1 WHERE NOT EXISTS "
+            "(SELECT 1 FROM t2 WHERE t2.b = t1.a)",
+        )
+        out = decorrelate(tree)
+        joins = find(out, LogicalJoin)
+        assert any(j.op.kind is JoinKind.ANTI for j in joins)
+
+    def test_local_predicate_stays_inner(self, db):
+        tree = tree_of(
+            db,
+            "SELECT a FROM t1 WHERE EXISTS "
+            "(SELECT 1 FROM t2 WHERE t2.b = t1.a AND t2.a > 500)",
+        )
+        out = decorrelate(tree)
+        join = next(
+            j for j in find(out, LogicalJoin) if j.op.kind is JoinKind.SEMI
+        )
+        # the uncorrelated conjunct remains a Select on the inner side
+        inner_selects = find(join.children[1], LogicalSelect)
+        assert inner_selects
+
+    def test_scalar_agg_to_groupby_join(self, db):
+        tree = tree_of(
+            db,
+            "SELECT a FROM t1 WHERE b > "
+            "(SELECT avg(b) FROM t2 WHERE t2.a = t1.a)",
+        )
+        out = decorrelate(tree)
+        assert not find(out, LogicalApply)
+        joins = find(out, LogicalJoin)
+        assert any(j.op.kind is JoinKind.LEFT for j in joins)
+        aggs = find(out, LogicalGbAgg)
+        assert any(a.op.group_cols for a in aggs)  # group-by was pushed
+
+    def test_scalar_agg_with_projection_above(self, db):
+        tree = tree_of(
+            db,
+            "SELECT a FROM t1 WHERE b > "
+            "(SELECT avg(b) * 2 FROM t2 WHERE t2.a = t1.a)",
+        )
+        out = decorrelate(tree)
+        assert not find(out, LogicalApply)
+
+    def test_count_subquery_not_decorrelated(self, db):
+        # COUNT over an empty group must yield 0; the join rewrite would
+        # produce NULL, so the Apply is kept.
+        tree = tree_of(
+            db,
+            "SELECT a FROM t1 WHERE b > "
+            "(SELECT count(*) FROM t2 WHERE t2.a = t1.a)",
+        )
+        out = decorrelate(tree)
+        assert find(out, LogicalApply)
+
+    def test_uncorrelated_apply_becomes_plain_join(self, db):
+        tree = tree_of(
+            db, "SELECT a FROM t1 WHERE a IN (SELECT b FROM t2)"
+        )
+        out = decorrelate(tree)
+        apply_nodes = find(out, LogicalApply)
+        # IN arg = inner col is correlation-free on the outer side here?
+        # t1.a appears in the match predicate -> correlated -> semi join.
+        assert not apply_nodes
+
+    def test_decorrelation_disabled_by_config(self, db):
+        cfg = OptimizerConfig(enable_decorrelation=False)
+        tree = tree_of(
+            db,
+            "SELECT a FROM t1 WHERE EXISTS "
+            "(SELECT 1 FROM t2 WHERE t2.b = t1.a)",
+        )
+        out = preprocess(tree, cfg, db.stats, None)
+        assert find(out, LogicalApply)
+
+
+class TestStaticPartitionElimination:
+    def test_eq_predicate_prunes_to_one(self, part_db):
+        tree = tree_of(part_db, "SELECT v FROM fact WHERE day = 250")
+        out = static_partition_elimination(push_down_predicates(tree))
+        get = find(out, LogicalGet)[0]
+        assert get.op.partitions == (2,)
+
+    def test_range_predicate_prunes(self, part_db):
+        tree = tree_of(
+            part_db, "SELECT v FROM fact WHERE day >= 101 AND day < 301"
+        )
+        out = static_partition_elimination(push_down_predicates(tree))
+        get = find(out, LogicalGet)[0]
+        assert get.op.partitions == (1, 2)
+
+    def test_boundary_inclusive(self, part_db):
+        tree = tree_of(
+            part_db, "SELECT v FROM fact WHERE day > 100 AND day <= 200"
+        )
+        out = static_partition_elimination(push_down_predicates(tree))
+        get = find(out, LogicalGet)[0]
+        assert get.op.partitions == (0, 1)  # day=200 lives in partition 1
+
+    def test_non_partition_predicate_no_pruning(self, part_db):
+        tree = tree_of(part_db, "SELECT v FROM fact WHERE k = 5")
+        out = static_partition_elimination(push_down_predicates(tree))
+        get = find(out, LogicalGet)[0]
+        assert get.op.partitions is None
+
+
+class TestDynamicPEHints:
+    def test_hint_attached_for_filtered_dim(self, part_db):
+        tree = tree_of(
+            part_db,
+            "SELECT f.v FROM fact f, dim d "
+            "WHERE f.day = d.day AND d.tag = 'hot'",
+        )
+        tree = push_down_predicates(tree)
+        out = attach_dpe_hints(tree, part_db.stats)
+        get = next(
+            n for n in out.walk()
+            if isinstance(n.op, LogicalGet) and n.op.table.name == "fact"
+        )
+        assert get.op.dpe is not None
+        assert 0.0 < get.op.dpe.fraction < 0.95
+
+    def test_no_hint_for_unfiltered_dim(self, part_db):
+        tree = tree_of(
+            part_db, "SELECT f.v FROM fact f, dim d WHERE f.day = d.day"
+        )
+        tree = push_down_predicates(tree)
+        out = attach_dpe_hints(tree, part_db.stats)
+        get = next(
+            n for n in out.walk()
+            if isinstance(n.op, LogicalGet) and n.op.table.name == "fact"
+        )
+        assert get.op.dpe is None
+
+    def test_no_hint_on_non_partition_join(self, part_db):
+        tree = tree_of(
+            part_db,
+            "SELECT f.v FROM fact f, dim d "
+            "WHERE f.k = d.day AND d.tag = 'hot'",
+        )
+        tree = push_down_predicates(tree)
+        out = attach_dpe_hints(tree, part_db.stats)
+        get = next(
+            n for n in out.walk()
+            if isinstance(n.op, LogicalGet) and n.op.table.name == "fact"
+        )
+        assert get.op.dpe is None
+
+    def test_full_preprocess_pipeline(self, part_db):
+        cfg = OptimizerConfig()
+        tree = tree_of(
+            part_db,
+            "SELECT f.v FROM fact f, dim d "
+            "WHERE f.day = d.day AND d.tag = 'hot' AND f.day > 500",
+        )
+        out = preprocess(tree, cfg, part_db.stats, None)
+        get = next(
+            n for n in out.walk()
+            if isinstance(n.op, LogicalGet) and n.op.table.name == "fact"
+        )
+        # both static pruning and the dynamic hint apply
+        assert get.op.partitions is not None
+        assert get.op.dpe is not None

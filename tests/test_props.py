@@ -1,0 +1,146 @@
+"""Property framework tests: distribution/order satisfaction lattice."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.props.distribution import (
+    ANY_DIST,
+    HashedDist,
+    RANDOM,
+    REPLICATED,
+    SINGLETON,
+)
+from repro.props.order import ANY_ORDER, OrderSpec, SortKey
+from repro.props.required import DerivedProps, RequiredProps
+
+
+DELIVERABLE = [SINGLETON, REPLICATED, RANDOM, HashedDist((1,)), HashedDist((1, 2))]
+REQUIREMENTS = DELIVERABLE + [ANY_DIST]
+
+
+class TestDistributionLattice:
+    @pytest.mark.parametrize("delivered", DELIVERABLE)
+    def test_everything_satisfies_any(self, delivered):
+        assert delivered.satisfies(ANY_DIST)
+
+    def test_singleton(self):
+        assert SINGLETON.satisfies(SINGLETON)
+        assert not SINGLETON.satisfies(HashedDist((1,)))
+        assert not SINGLETON.satisfies(REPLICATED)
+
+    def test_replicated(self):
+        assert REPLICATED.satisfies(REPLICATED)
+        assert not REPLICATED.satisfies(SINGLETON)
+
+    def test_hashed_exact_columns(self):
+        assert HashedDist((1,)).satisfies(HashedDist((1,)))
+        assert not HashedDist((1,)).satisfies(HashedDist((2,)))
+        assert not HashedDist((1, 2)).satisfies(HashedDist((2, 1)))
+
+    def test_hashed_satisfies_random(self):
+        assert HashedDist((1,)).satisfies(RANDOM)
+
+    def test_random_does_not_satisfy_hashed(self):
+        assert not RANDOM.satisfies(HashedDist((1,)))
+
+    def test_equality_and_hash(self):
+        assert HashedDist((1, 2)) == HashedDist((1, 2))
+        assert hash(SINGLETON) == hash(SINGLETON)
+        assert HashedDist((1,)) != HashedDist((2,))
+
+    def test_is_partitioned(self):
+        assert HashedDist((1,)).is_partitioned()
+        assert RANDOM.is_partitioned()
+        assert not SINGLETON.is_partitioned()
+        assert not REPLICATED.is_partitioned()
+
+    def test_hashed_on_accepts_ints_and_colrefs(self):
+        from repro.catalog.types import INT
+        from repro.ops.scalar import ColRef
+
+        assert HashedDist.on([3, 4]).columns == (3, 4)
+        assert HashedDist.on([ColRef(7, "x", INT)]).columns == (7,)
+
+    def test_remapped(self):
+        assert HashedDist((1, 2)).remapped({1: 9}).columns == (9, 2)
+
+    @given(st.sampled_from(DELIVERABLE))
+    @settings(max_examples=20)
+    def test_satisfaction_reflexive(self, dist):
+        assert dist.satisfies(dist)
+
+
+class TestOrderSpec:
+    def test_prefix_satisfaction(self):
+        full = OrderSpec((SortKey(1), SortKey(2)))
+        prefix = OrderSpec((SortKey(1),))
+        assert full.satisfies(prefix)
+        assert not prefix.satisfies(full)
+
+    def test_direction_matters(self):
+        asc = OrderSpec((SortKey(1, True),))
+        desc = OrderSpec((SortKey(1, False),))
+        assert not asc.satisfies(desc)
+
+    def test_empty_is_any(self):
+        assert OrderSpec((SortKey(1),)).satisfies(ANY_ORDER)
+        assert ANY_ORDER.satisfies(ANY_ORDER)
+        assert not ANY_ORDER.satisfies(OrderSpec((SortKey(1),)))
+
+    def test_of_builder(self):
+        from repro.catalog.types import INT
+        from repro.ops.scalar import ColRef
+
+        a = ColRef(5, "a", INT)
+        spec = OrderSpec.of([a, (a, False), SortKey(9)])
+        assert spec.keys == (SortKey(5, True), SortKey(5, False), SortKey(9, True))
+
+    def test_remapped(self):
+        spec = OrderSpec((SortKey(1), SortKey(2, False)))
+        out = spec.remapped({1: 7})
+        assert out.keys == (SortKey(7), SortKey(2, False))
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 5), st.booleans()), max_size=4),
+        st.lists(st.tuples(st.integers(0, 5), st.booleans()), max_size=4),
+    )
+    @settings(max_examples=60)
+    def test_satisfaction_transitive_with_prefixes(self, keys_a, keys_b):
+        a = OrderSpec(tuple(SortKey(c, asc) for c, asc in keys_a))
+        b = OrderSpec(tuple(SortKey(c, asc) for c, asc in keys_b))
+        if a.satisfies(b):
+            # any extension of a still satisfies b
+            extended = OrderSpec(a.keys + (SortKey(99),))
+            assert extended.satisfies(b)
+
+
+class TestRequiredProps:
+    def test_strictness_ranks(self):
+        assert RequiredProps().strictness() == 0
+        assert RequiredProps(SINGLETON).strictness() == 1
+        assert RequiredProps(
+            SINGLETON, OrderSpec((SortKey(1),))
+        ).strictness() == 2
+
+    def test_weakening_helpers(self):
+        req = RequiredProps(SINGLETON, OrderSpec((SortKey(1),)))
+        assert req.without_order().order.is_empty()
+        assert req.without_dist().dist is ANY_DIST
+
+    def test_key_distinguishes(self):
+        r1 = RequiredProps(SINGLETON)
+        r2 = RequiredProps(HashedDist((1,)))
+        assert r1.key() != r2.key()
+
+    def test_derived_satisfies(self):
+        d = DerivedProps(HashedDist((1,)), OrderSpec((SortKey(1), SortKey(2))))
+        assert d.satisfies(RequiredProps(ANY_DIST, OrderSpec((SortKey(1),))))
+        assert d.satisfies(RequiredProps(HashedDist((1,))))
+        assert not d.satisfies(RequiredProps(SINGLETON))
+
+    def test_is_any(self):
+        assert RequiredProps().is_any()
+        assert not RequiredProps(SINGLETON).is_any()

@@ -1,0 +1,127 @@
+"""GROUP BY ROLLUP tests (translated to a union of grouping levels)."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.engine import Cluster, Executor
+from repro.optimizer import Orca
+from repro.planner import LegacyPlanner
+from repro.sql.parser import parse
+
+from tests.conftest import make_small_db, rows_equal
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_small_db(t1_rows=1500)
+
+
+def run(db, sql, use_planner=False):
+    config = OptimizerConfig(segments=8)
+    optimizer = LegacyPlanner(db, config) if use_planner else Orca(db, config)
+    result = optimizer.optimize(sql)
+    out = Executor(Cluster(db, segments=8)).execute(
+        result.plan, result.output_cols
+    )
+    return out, result
+
+
+class TestParsing:
+    def test_rollup_flag(self):
+        stmt = parse("SELECT a FROM t GROUP BY ROLLUP (a, b)")
+        assert stmt.rollup and len(stmt.group_by) == 2
+
+    def test_plain_group_by_not_rollup(self):
+        stmt = parse("SELECT a FROM t GROUP BY a")
+        assert not stmt.rollup
+
+    def test_rollup_as_identifier_still_works(self):
+        # 'rollup' is only special directly after GROUP BY
+        stmt = parse("SELECT rollup FROM t WHERE rollup > 1")
+        assert stmt.select_items[0][0].name == "rollup"
+
+
+class TestExecution:
+    def test_single_level_rollup(self, db):
+        out, result = run(
+            db,
+            "SELECT c, count(*) AS n FROM t1 GROUP BY ROLLUP (c) ORDER BY c",
+        )
+        counts = Counter(c for _a, _b, c in db.scan("t1"))
+        expected = [(c, n) for c, n in counts.items()]
+        expected.append((None, sum(counts.values())))
+        assert rows_equal(out.rows, expected)
+        assert "rollup" in result.query.features
+
+    def test_two_level_rollup(self, db):
+        out, _ = run(
+            db,
+            "SELECT c, a, sum(b) AS s FROM t1 WHERE a < 5 "
+            "GROUP BY ROLLUP (c, a) ORDER BY c, a",
+        )
+        rows = [(a, b, c) for a, b, c in db.scan("t1") if a < 5]
+        detail = defaultdict(int)
+        subtotal = defaultdict(int)
+        total = 0
+        for a, b, c in rows:
+            detail[(c, a)] += b
+            subtotal[c] += b
+            total += b
+        expected = [(c, a, s) for (c, a), s in detail.items()]
+        expected += [(c, None, s) for c, s in subtotal.items()]
+        expected.append((None, None, total))
+        assert rows_equal(out.rows, expected)
+
+    def test_rollup_with_having(self, db):
+        out, _ = run(
+            db,
+            "SELECT c, count(*) AS n FROM t1 "
+            "GROUP BY ROLLUP (c) HAVING count(*) > 100 ORDER BY c",
+        )
+        counts = Counter(c for _a, _b, c in db.scan("t1"))
+        expected = [(c, n) for c, n in counts.items() if n > 100]
+        if sum(counts.values()) > 100:
+            expected.append((None, sum(counts.values())))
+        assert rows_equal(out.rows, expected)
+
+    def test_rollup_with_limit(self, db):
+        out, _ = run(
+            db,
+            "SELECT c, count(*) AS n FROM t1 "
+            "GROUP BY ROLLUP (c) ORDER BY n DESC LIMIT 2",
+        )
+        assert len(out.rows) == 2
+        # the grand total is the largest group
+        assert out.rows[0][0] is None
+
+    def test_planner_matches_orca(self, db):
+        sql = (
+            "SELECT c, count(*) AS n, min(a) AS lo FROM t1 "
+            "GROUP BY ROLLUP (c) ORDER BY c"
+        )
+        orca_out, _ = run(db, sql)
+        planner_out, _ = run(db, sql, use_planner=True)
+        assert rows_equal(orca_out.rows, planner_out.rows)
+
+    def test_rollup_feature_blocks_impala(self, tpcds_db):
+        from repro.systems import HAWQ, IMPALA_LIKE, SimulatedEngine
+        from repro.workloads import queries_by_id
+
+        query = queries_by_id()["category_rollup"]
+        assert not SimulatedEngine(IMPALA_LIKE, tpcds_db).supports(query)
+        assert SimulatedEngine(HAWQ, tpcds_db).supports(query)
+
+    def test_workload_rollup_query_runs(self, tpcds_db):
+        from repro.workloads import queries_by_id
+
+        query = queries_by_id()["category_rollup"]
+        sql = query.sql.replace("LIMIT 100", "")
+        out, _ = run(tpcds_db, sql)
+        # contains detail rows, class subtotals and a grand total
+        assert any(r[0] is None and r[1] is None for r in out.rows)
+        assert any(r[0] is not None and r[1] is None for r in out.rows)
+        assert any(r[1] is not None for r in out.rows)

@@ -1,0 +1,216 @@
+"""SQL frontend edge cases, failure injection, and a property-based
+predicate differential against a pure-Python reference evaluation."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import OptimizerConfig
+from repro.engine import Cluster, Executor
+from repro.errors import NoPlanError, OptimizerError, SQLError
+from repro.optimizer import Orca
+
+from tests.conftest import make_small_db, rows_equal
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_small_db(t1_rows=1200, t2_rows=200)
+
+
+@pytest.fixture(scope="module")
+def orca(db):
+    return Orca(db, OptimizerConfig(segments=8))
+
+
+def run(db, orca, sql):
+    result = orca.optimize(sql)
+    return Executor(Cluster(db, segments=8)).execute(
+        result.plan, result.output_cols
+    )
+
+
+class TestEdgeCases:
+    def test_cte_referencing_earlier_cte(self, db, orca):
+        out = run(db, orca, """
+            WITH base AS (SELECT a, b FROM t1 WHERE b > 50),
+                 agg AS (SELECT a, count(*) AS n FROM base GROUP BY a)
+            SELECT agg1.a, agg1.n FROM agg agg1, agg agg2
+            WHERE agg1.a = agg2.a ORDER BY agg1.a LIMIT 20
+        """)
+        counts = Counter(
+            a for a, b, _c in db.scan("t1") if b > 50
+        )
+        expected = sorted((a, n) for a, n in counts.items())[:20]
+        assert out.rows == expected
+
+    def test_nested_derived_tables(self, db, orca):
+        out = run(db, orca, """
+            SELECT outer_q.n FROM (
+                SELECT inner_q.c, count(*) AS n FROM (
+                    SELECT c FROM t1 WHERE b < 50
+                ) AS inner_q GROUP BY inner_q.c
+            ) AS outer_q ORDER BY outer_q.n
+        """)
+        counts = Counter(c for _a, b, c in db.scan("t1") if b < 50)
+        assert [r[0] for r in out.rows] == sorted(counts.values())
+
+    def test_is_not_null(self, db, orca):
+        out = run(db, orca, "SELECT count(*) FROM t1 WHERE c IS NOT NULL")
+        assert out.rows[0][0] == db.row_count("t1")
+
+    def test_negated_between(self, db, orca):
+        out = run(
+            db, orca,
+            "SELECT count(*) FROM t1 WHERE b NOT BETWEEN 20 AND 80",
+        )
+        expected = sum(
+            1 for _a, b, _c in db.scan("t1") if not (20 <= b <= 80)
+        )
+        assert out.rows[0][0] == expected
+
+    def test_scalar_subquery_in_select_list(self, db, orca):
+        out = run(
+            db, orca,
+            "SELECT a, (SELECT max(b) FROM t2) FROM t1 WHERE a < 3 ORDER BY a",
+        )
+        max_b = max(b for _a, b in db.scan("t2"))
+        assert out.rows
+        assert all(r[1] == max_b for r in out.rows)
+
+    def test_count_column_skips_nulls_vs_count_star(self):
+        from repro.catalog import Column, Database, INT, Table
+
+        db = Database()
+        db.create_table(Table("n", [Column("v", INT), Column("w", INT)]))
+        db.insert("n", [(1, 1), (None, 2), (3, 3), (None, 4)])
+        db.analyze()
+        orca = Orca(db, OptimizerConfig(segments=4))
+        out = run(db, orca, "SELECT count(*), count(v) FROM n")
+        assert out.rows == [(4, 2)]
+
+    def test_right_join_execution(self, db, orca):
+        out = run(
+            db, orca,
+            "SELECT t2.a, t1.b FROM t1 RIGHT JOIN t2 ON t1.a = t2.a "
+            "WHERE t2.b < 10",
+        )
+        t1_by_a = {}
+        for a, b, _c in db.scan("t1"):
+            t1_by_a.setdefault(a, []).append(b)
+        expected = []
+        for a2, b2 in db.scan("t2"):
+            if b2 >= 10:
+                continue
+            matches = t1_by_a.get(a2, [])
+            if matches:
+                expected.extend((a2, b1) for b1 in matches)
+            else:
+                expected.append((a2, None))
+        assert rows_equal(out.rows, expected)
+
+    def test_cross_join_keyword(self, db, orca):
+        out = run(
+            db, orca,
+            "SELECT count(*) FROM t1 CROSS JOIN t2 WHERE t1.a = 1",
+        )
+        ones = sum(1 for a, _b, _c in db.scan("t1") if a == 1)
+        assert out.rows[0][0] == ones * db.row_count("t2")
+
+    def test_empty_in_list_rejected(self, db, orca):
+        with pytest.raises(SQLError):
+            orca.optimize("SELECT a FROM t1 WHERE a IN ()")
+
+    def test_order_by_expression(self, db, orca):
+        out = run(
+            db, orca,
+            "SELECT a, b FROM t1 WHERE a < 5 ORDER BY a + b LIMIT 10",
+        )
+        sums = [a + b for a, b in out.rows]
+        assert sums == sorted(sums)
+
+    def test_union_inside_derived_table_with_aggregate(self, db, orca):
+        out = run(db, orca, """
+            SELECT u.src, count(*) AS n FROM (
+                SELECT 'one' AS src, a AS v FROM t1 WHERE b > 95
+                UNION ALL
+                SELECT 'two' AS src, b AS v FROM t2 WHERE a > 950
+            ) AS u GROUP BY u.src ORDER BY u.src
+        """)
+        ones = sum(1 for _a, b, _c in db.scan("t1") if b > 95)
+        twos = sum(1 for a, _b in db.scan("t2") if a > 950)
+        expected = [
+            row for row in [("one", ones), ("two", twos)] if row[1] > 0
+        ]
+        assert out.rows == expected
+
+
+class TestFailureInjection:
+    def test_no_plan_when_all_scan_rules_disabled(self, db):
+        config = OptimizerConfig(segments=8).with_disabled(
+            "Get2TableScan", "Get2IndexScan"
+        )
+        orca = Orca(db, config)
+        with pytest.raises((NoPlanError, OptimizerError)):
+            orca.optimize("SELECT a FROM t1")
+
+    def test_no_plan_when_all_join_rules_disabled(self, db):
+        config = OptimizerConfig(segments=8).with_disabled(
+            "InnerJoin2HashJoin", "InnerJoin2NLJoin", "InnerJoin2MergeJoin"
+        )
+        orca = Orca(db, config)
+        with pytest.raises((NoPlanError, OptimizerError)):
+            orca.optimize("SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b")
+
+    def test_plan_survives_disabling_one_join_impl(self, db):
+        for rule in ("InnerJoin2HashJoin", "InnerJoin2NLJoin",
+                     "InnerJoin2MergeJoin"):
+            config = OptimizerConfig(segments=8).with_disabled(rule)
+            orca = Orca(db, config)
+            result = orca.optimize(
+                "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b"
+            )
+            assert result.plan is not None
+
+
+PRED_OPS = st.sampled_from(["<", "<=", ">", ">=", "=", "<>"])
+
+
+class TestPredicateDifferential:
+    """Random WHERE clauses: engine result == pure-Python evaluation."""
+
+    @given(
+        op1=PRED_OPS, lit1=st.integers(0, 1000),
+        op2=PRED_OPS, lit2=st.integers(0, 100),
+        conj=st.sampled_from(["AND", "OR"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_two_conjunct_predicates(self, op1, lit1, op2, lit2, conj):
+        db = getattr(self, "_db", None)
+        if db is None:
+            db = self.__class__._db = make_small_db(t1_rows=400, t2_rows=50)
+            self.__class__._orca = Orca(db, OptimizerConfig(segments=4))
+        orca = self.__class__._orca
+        sql = (
+            f"SELECT a, b FROM t1 WHERE a {op1} {lit1} {conj} b {op2} {lit2}"
+        )
+        out = run(db, orca, sql)
+
+        import operator
+
+        py_ops = {
+            "<": operator.lt, "<=": operator.le, ">": operator.gt,
+            ">=": operator.ge, "=": operator.eq, "<>": operator.ne,
+        }
+        combine = (lambda x, y: x and y) if conj == "AND" else (
+            lambda x, y: x or y
+        )
+        expected = [
+            (a, b) for a, b, _c in db.scan("t1")
+            if combine(py_ops[op1](a, lit1), py_ops[op2](b, lit2))
+        ]
+        assert rows_equal(out.rows, expected)

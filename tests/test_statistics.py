@@ -1,0 +1,254 @@
+"""Histogram and column statistics tests, including property-based ones."""
+
+from __future__ import annotations
+
+import math
+from datetime import date
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.statistics import (
+    Bucket,
+    ColumnStats,
+    Histogram,
+    axis_value,
+)
+
+
+class TestAxisValue:
+    def test_ints_identity(self):
+        assert axis_value(42) == 42.0
+
+    def test_floats_identity(self):
+        assert axis_value(2.5) == 2.5
+
+    def test_bools(self):
+        assert axis_value(True) == 1.0
+        assert axis_value(False) == 0.0
+
+    def test_dates_are_monotonic(self):
+        assert axis_value(date(2000, 1, 2)) > axis_value(date(2000, 1, 1))
+
+    def test_strings_preserve_order(self):
+        assert axis_value("apple") < axis_value("banana")
+
+    def test_none_is_nan(self):
+        assert math.isnan(axis_value(None))
+
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                max_size=8,
+            ),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    def test_string_embedding_monotone(self, values):
+        # The embedding is order-preserving for printable ASCII (the
+        # character range realistic workloads use); code points above 255
+        # clamp and may tie.
+        values = sorted(set(values))
+        embedded = [axis_value(v) for v in values]
+        assert embedded == sorted(embedded)
+
+
+class TestHistogramConstruction:
+    def test_empty_values(self):
+        h = Histogram.from_values([])
+        assert h.total_rows() == 0
+        assert h.buckets == ()
+
+    def test_all_nulls(self):
+        h = Histogram.from_values([None, None, None])
+        assert h.null_rows == 3
+        assert h.non_null_rows() == 0
+
+    def test_total_rows_preserved(self):
+        h = Histogram.from_values(list(range(100)))
+        assert h.total_rows() == pytest.approx(100)
+
+    def test_ndv_roughly_right(self):
+        h = Histogram.from_values([1, 1, 2, 2, 3, 3] * 10)
+        assert 2.0 <= h.ndv() <= 4.0
+
+    def test_min_max(self):
+        h = Histogram.from_values(list(range(10, 110)))
+        assert h.min_value() == 10
+        assert h.max_value() >= 109
+
+    def test_uniform_factory(self):
+        h = Histogram.uniform(0, 100, rows=1000, ndv=100)
+        assert h.total_rows() == pytest.approx(1000)
+
+    @given(
+        st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1,
+                 max_size=300)
+    )
+    @settings(max_examples=60)
+    def test_rows_conserved_property(self, values):
+        h = Histogram.from_values(values)
+        assert h.total_rows() == pytest.approx(len(values))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                 max_size=300)
+    )
+    @settings(max_examples=60)
+    def test_buckets_ordered_property(self, values):
+        h = Histogram.from_values(values)
+        for a, b in zip(h.buckets, h.buckets[1:]):
+            assert a.lo <= a.hi <= b.lo <= b.hi
+
+
+class TestSelectivity:
+    def test_eq_uniform(self):
+        h = Histogram.from_values(list(range(100)))
+        assert h.select_eq(50) == pytest.approx(0.01, rel=0.5)
+
+    def test_eq_heavy_duplicates_spanning_buckets(self):
+        # A value that fills many equi-depth buckets must sum them all.
+        years = [1998] * 365 + [1999] * 365 + [2000] * 366
+        h = Histogram.from_values(years)
+        assert h.select_eq(1998) == pytest.approx(365 / 1096, rel=0.1)
+
+    def test_eq_string_values(self):
+        h = Histogram.from_values(["a", "b", "a", "c", "a"])
+        assert h.select_eq("a") == pytest.approx(0.6, rel=0.2)
+
+    def test_eq_absent_value(self):
+        h = Histogram.from_values([1, 2, 3])
+        assert h.select_eq(99) == 0.0
+
+    def test_range_half(self):
+        h = Histogram.from_values(list(range(100)))
+        sel = h.select_range(lo=None, hi=50)
+        assert sel == pytest.approx(0.5, rel=0.15)
+
+    def test_range_all(self):
+        h = Histogram.from_values(list(range(100)))
+        assert h.select_range() == pytest.approx(1.0, rel=0.05)
+
+    def test_range_inclusive_bounds(self):
+        h = Histogram.from_values([1, 2, 3, 4, 5])
+        wide = h.select_range(lo=2, hi=4, hi_inclusive=True)
+        narrow = h.select_range(lo=2, hi=4, hi_inclusive=False)
+        assert wide >= narrow
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=5,
+                 max_size=200),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=60)
+    def test_eq_bounded_property(self, values, probe):
+        h = Histogram.from_values(values)
+        assert 0.0 <= h.select_eq(probe) <= 1.0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=5,
+                 max_size=200),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=60)
+    def test_range_bounded_property(self, values, lo, hi):
+        h = Histogram.from_values(values)
+        if lo > hi:
+            lo, hi = hi, lo
+        assert 0.0 <= h.select_range(lo=lo, hi=hi) <= 1.0
+
+
+class TestRestriction:
+    def test_restricted_eq_is_point(self):
+        h = Histogram.from_values(list(range(100)))
+        r = h.restricted_eq(42)
+        assert len(r.buckets) == 1
+        assert r.buckets[0].lo == r.buckets[0].hi == 42.0
+
+    def test_restricted_range_shrinks(self):
+        h = Histogram.from_values(list(range(100)))
+        r = h.restricted_range(lo=20, hi=40)
+        assert r.total_rows() < h.total_rows()
+        assert r.min_value() >= 19
+
+    def test_filtered_scales_rows(self):
+        h = Histogram.from_values(list(range(100)))
+        assert h.filtered(0.5).total_rows() == pytest.approx(50, rel=0.01)
+
+    def test_filtered_clamps(self):
+        h = Histogram.from_values(list(range(10)))
+        assert h.filtered(2.0).total_rows() == pytest.approx(10)
+        assert h.filtered(-1.0).total_rows() == 0
+
+
+class TestJoinEstimation:
+    def test_key_fk_join(self):
+        # Key side: 100 distinct; FK side: 1000 rows over the same domain.
+        keys = Histogram.from_values(list(range(100)))
+        fks = Histogram.from_values([i % 100 for i in range(1000)])
+        card = keys.join_cardinality(fks)
+        assert card == pytest.approx(1000, rel=0.35)
+
+    def test_disjoint_domains(self):
+        a = Histogram.from_values(list(range(0, 100)))
+        b = Histogram.from_values(list(range(1000, 1100)))
+        assert a.join_cardinality(b) == pytest.approx(0.0, abs=1e-6)
+
+    def test_self_join(self):
+        h = Histogram.from_values(list(range(50)))
+        assert h.join_cardinality(h) == pytest.approx(50, rel=0.3)
+
+    def test_join_histogram_rows(self):
+        keys = Histogram.from_values(list(range(100)))
+        fks = Histogram.from_values([i % 100 for i in range(1000)])
+        joined = keys.join_histogram(fks)
+        assert joined.total_rows() == pytest.approx(
+            keys.join_cardinality(fks), rel=0.2
+        )
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=150),
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=150),
+    )
+    @settings(max_examples=40)
+    def test_join_card_bounded_by_cross_product(self, left, right):
+        a = Histogram.from_values(left)
+        b = Histogram.from_values(right)
+        card = a.join_cardinality(b)
+        assert 0.0 <= card <= len(left) * len(right) * 1.01
+
+
+class TestUnionAndSkew:
+    def test_union_all_rows(self):
+        a = Histogram.from_values(list(range(50)))
+        b = Histogram.from_values(list(range(100, 150)))
+        assert a.union_all(b).total_rows() == pytest.approx(100)
+
+    def test_skew_uniform_is_one(self):
+        h = Histogram.from_values(list(range(1000)))
+        assert h.skew() == pytest.approx(1.0, rel=0.2)
+
+    def test_skew_detects_heavy_hitter(self):
+        values = [1] * 900 + list(range(2, 102))
+        h = Histogram.from_values(values)
+        assert h.skew() > 2.0
+
+
+class TestColumnStats:
+    def test_from_values(self):
+        cs = ColumnStats.from_values([1, 2, 2, 3, None])
+        assert cs.ndv == 3
+        assert cs.null_frac == pytest.approx(0.2)
+
+    def test_scaled_reduces_ndv(self):
+        cs = ColumnStats.from_values(list(range(100)))
+        scaled = cs.scaled(0.1)
+        assert scaled.ndv <= cs.ndv
+
+    def test_scaled_noop_at_one(self):
+        cs = ColumnStats.from_values(list(range(100)))
+        assert cs.scaled(1.0).ndv == cs.ndv
