@@ -31,6 +31,7 @@ from repro.errors import ReproError
 from repro.optimizer import OptimizationResult, Orca
 from repro.planner import LegacyPlanner
 from repro.search.plan import PlanNode
+from repro.trace import NullTracer, TraceEvent, Tracer
 
 __version__ = "1.0.0"
 
@@ -46,5 +47,8 @@ __all__ = [
     "ExecutionResult",
     "PlanNode",
     "ReproError",
+    "Tracer",
+    "NullTracer",
+    "TraceEvent",
     "__version__",
 ]

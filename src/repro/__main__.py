@@ -49,6 +49,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "decorrelation, cte_sharing, partition_elimination, "
              "join_reordering (repeatable)",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="collect a structured optimizer trace and print its "
+             "per-stage summary (counts + timings)",
+    )
+    parser.add_argument(
+        "--trace-json", metavar="PATH", default=None,
+        help="write the full trace as JSON to PATH (implies --trace)",
+    )
 
 
 def _config(args) -> OptimizerConfig:
@@ -71,35 +80,67 @@ def _config(args) -> OptimizerConfig:
     return config
 
 
-def _optimize(args, db, sql):
+def _tracer(args):
+    """A real Tracer when --trace (or --trace-json) was given, else None."""
+    if getattr(args, "trace", False) or getattr(args, "trace_json", None):
+        from repro.trace import Tracer
+
+        return Tracer()
+    return None
+
+
+def _emit_trace(args, tracer) -> None:
+    if tracer is None:
+        return
+    print()
+    if not tracer.stage_counts:
+        print("(no trace events: the legacy Planner path is not instrumented)")
+    else:
+        print(tracer.summary())
+    if getattr(args, "trace_json", None):
+        with open(args.trace_json, "w", encoding="utf-8") as f:
+            f.write(tracer.to_json(indent=2))
+        print(f"\ntrace JSON written to {args.trace_json}")
+
+
+def _optimize(args, db, sql, tracer=None):
     config = _config(args)
     if args.planner:
+        # The legacy Planner has no instrumented search; only the
+        # execution side of the trace applies to it.
         return LegacyPlanner(db, config).optimize(sql)
-    return Orca(db, config).optimize(sql)
+    return Orca(db, config, tracer=tracer).optimize(sql)
 
 
 def cmd_explain(args) -> int:
     db = build_populated_db(scale=args.scale, seed=args.seed)
-    result = _optimize(args, db, args.sql)
+    tracer = _tracer(args)
+    result = _optimize(args, db, args.sql, tracer)
     print(result.explain())
+    _emit_trace(args, tracer)
     return 0
 
 
 def cmd_memo(args) -> int:
     db = build_populated_db(scale=args.scale, seed=args.seed)
-    result = Orca(db, _config(args)).optimize(args.sql)
+    tracer = _tracer(args)
+    result = Orca(db, _config(args), tracer=tracer).optimize(args.sql)
     print(result.memo.dump())
     print(f"\n{result.num_groups} groups, {result.num_gexprs} group "
           f"expressions, {result.jobs_executed} jobs, "
           f"{result.xform_count} rule applications")
+    _emit_trace(args, tracer)
     return 0
 
 
 def cmd_run(args) -> int:
     db = build_populated_db(scale=args.scale, seed=args.seed)
-    result = _optimize(args, db, args.sql)
+    tracer = _tracer(args)
+    result = _optimize(args, db, args.sql, tracer)
     cluster = Cluster(db, segments=args.segments)
-    out = Executor(cluster).execute(result.plan, result.output_cols)
+    out = Executor(cluster, tracer=tracer).execute(
+        result.plan, result.output_cols
+    )
     names = getattr(result, "output_names", None) or [
         c.name for c in result.output_cols
     ]
@@ -111,6 +152,7 @@ def cmd_run(args) -> int:
         print(f"... ({len(out.rows)} rows total)")
     print(f"\n{len(out.rows)} rows in {out.simulated_seconds():.4f} "
           "simulated seconds")
+    _emit_trace(args, tracer)
     return 0
 
 
@@ -130,10 +172,14 @@ def cmd_capture(args) -> int:
 
     db = build_populated_db(scale=args.scale, seed=args.seed)
     config = _config(args)
-    expected = Orca(db, config).optimize(args.sql).plan
-    dump = capture_dump(db, args.sql, config, expected_plan=expected)
+    tracer = _tracer(args)
+    result = Orca(db, config, tracer=tracer).optimize(args.sql)
+    dump = capture_dump(
+        db, args.sql, config, expected_plan=result.plan, trace=result.trace
+    )
     dump.save(args.path)
     print(f"AMPERe dump written to {args.path}")
+    _emit_trace(args, tracer)
     return 0
 
 

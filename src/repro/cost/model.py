@@ -27,6 +27,7 @@ from repro.props.distribution import (
     SingletonDist,
 )
 from repro.props.required import DerivedProps
+from repro.trace import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -69,9 +70,15 @@ def local_rows(rows: float, dist: DistributionSpec, segments: int) -> float:
 class CostModel:
     """Computes per-operator local costs."""
 
-    def __init__(self, params: Optional[CostParams] = None, segments: int = 16):
+    def __init__(
+        self,
+        params: Optional[CostParams] = None,
+        segments: int = 16,
+        tracer=None,
+    ):
         self.params = params or CostParams()
         self.segments = max(segments, 1)
+        self.tracer = tracer or NULL_TRACER
 
     # ------------------------------------------------------------------
     def local_cost(
@@ -84,6 +91,25 @@ class CostModel:
         delivered: DerivedProps,
     ) -> float:
         """Local cost of one physical operator instance."""
+        cost = self._local_cost(
+            op, stats, child_stats, child_delivered, child_costs, delivered
+        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                "cost_computed",
+                op=op.name, local_cost=cost, rows=stats.row_count,
+            )
+        return cost
+
+    def _local_cost(
+        self,
+        op,
+        stats: StatsObject,
+        child_stats: Sequence[StatsObject],
+        child_delivered: Sequence[DerivedProps],
+        child_costs: Sequence[float],
+        delivered: DerivedProps,
+    ) -> float:
         p = self.params
         seg = self.segments
         out_rows = max(stats.row_count, 0.0)

@@ -27,6 +27,7 @@ from repro.ops.logical import AggStage, ApplyKind, JoinKind
 from repro.ops.scalar import AggFunc, ColRef, ColRefExpr, Comparison, WindowFunc
 from repro.props.order import SortKey
 from repro.search.plan import PlanNode
+from repro.trace import NULL_TRACER
 
 SEGMENTED, SINGLETON, REPLICATED = "segmented", "singleton", "replicated"
 
@@ -100,9 +101,11 @@ class Executor:
         cache_correlated_work: bool = False,
         per_op_startup_units: float = 0.0,
         materialize_output_factor: float = 0.0,
+        tracer=None,
     ):
         self.cluster = cluster
         self.params = params or CostParams()
+        self.tracer = tracer or NULL_TRACER
         self.time_limit_seconds = time_limit_seconds
         #: When False, each re-execution of a correlated inner plan is
         #: charged in full even if its result was memoized (the legacy
@@ -134,13 +137,26 @@ class Executor:
             for node in plan.walk()
             if isinstance(node.op, ph.PhysicalDynamicTableScan)
         }
-        result = self._exec(plan)
-        rows = result.single_copy()
+        with self.tracer.span("execute"):
+            result = self._exec(plan)
+            rows = result.single_copy()
         cols = result.cols
         if output_cols:
             positions = _positions(cols, output_cols)
             rows = [tuple(r[p] for p in positions) for r in rows]
             cols = list(output_cols)
+        if self.tracer.enabled:
+            self.tracer.record(
+                "execution_metrics",
+                simulated_seconds=self.metrics.simulated_seconds(),
+                rows_scanned=self.metrics.rows_scanned,
+                rows_moved=self.metrics.rows_moved,
+                rows_spilled=self.metrics.rows_spilled,
+                rows_out=len(rows),
+                partitions_scanned=self.metrics.partitions_scanned,
+                partitions_eliminated=self.metrics.partitions_eliminated,
+                subplan_executions=self.metrics.subplan_executions,
+            )
         return ExecutionResult(rows=rows, columns=cols, metrics=self.metrics)
 
     # ------------------------------------------------------------------
@@ -156,6 +172,12 @@ class Executor:
         self.metrics.cardinalities.append(
             (repr(op), node.rows_estimate, result.total_rows())
         )
+        if self.tracer.enabled:
+            self.tracer.record(
+                "operator_executed",
+                op=op.name, rows_out=result.total_rows(),
+                rows_estimated=node.rows_estimate,
+            )
         self.metrics.check_budget()
         return result
 

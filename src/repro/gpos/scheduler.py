@@ -34,6 +34,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Optional, Sequence
 
+from repro.trace import NULL_TRACER
+
 
 class Job:
     """A re-entrant optimization job."""
@@ -74,7 +76,7 @@ class JobBudgetExceeded(Exception):
 class JobScheduler:
     """Executes a job graph with suspend/resume and per-goal deduplication."""
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1, tracer=None):
         self.workers = max(workers, 1)
         self._jobs_by_goal: dict[Hashable, Job] = {}
         self._queue: deque[Job] = deque()
@@ -85,6 +87,7 @@ class JobScheduler:
         self._job_ids: dict[int, int] = {}
         self._next_job_id = 0
         self.kind_counts: dict[str, int] = {}
+        self.tracer = tracer or NULL_TRACER
 
     # ------------------------------------------------------------------
     def reset_goals(self) -> None:
@@ -188,6 +191,11 @@ class JobScheduler:
             self.jobs_executed += 1
             self.kind_counts[job.kind] = self.kind_counts.get(job.kind, 0) + 1
             self.job_log.append(JobRecord(self._job_id(job), job.kind, duration))
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "job_done", job_kind=job.kind, seconds=duration,
+                    job_id=self._job_id(job),
+                )
             for parent in job.parents:
                 parent.pending_children -= 1
                 if parent.pending_children == 0:
@@ -198,6 +206,10 @@ class JobScheduler:
         if job.goal is not None:
             self._jobs_by_goal[job.goal] = job
         self._queue.append(job)
+        if self.tracer.enabled:
+            self.tracer.record(
+                "job_scheduled", job_kind=job.kind, job_id=self._job_id(job)
+            )
 
 
 def simulate_makespan(records: Iterable[JobRecord], workers: int) -> float:

@@ -20,6 +20,7 @@ from repro.memo.context import OptimizationContext, PlanInfo, StatsObject
 from repro.ops.expression import Expression, Operator
 from repro.ops.scalar import ColRef
 from repro.props.required import RequiredProps
+from repro.trace import NULL_TRACER
 
 
 class GroupRef(Operator):
@@ -125,13 +126,14 @@ class Group:
 class Memo:
     """Groups + global duplicate detection + union-find group merging."""
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self.groups: list[Group] = []
         self._parent: list[int] = []  # union-find over group ids
         self._dedup: dict[tuple, GroupExpression] = {}
         self._gexpr_by_id: dict[int, GroupExpression] = {}
         self._next_gexpr_id = 0
         self.root: Optional[int] = None
+        self.tracer = tracer or NULL_TRACER
 
     def gexpr(self, gexpr_id: int) -> GroupExpression:
         return self._gexpr_by_id[gexpr_id]
@@ -196,6 +198,11 @@ class Memo:
         group.gexprs.append(gexpr)
         self._dedup[fingerprint] = gexpr
         self._gexpr_by_id[gexpr.id] = gexpr
+        if self.tracer.enabled:
+            self.tracer.record(
+                "gexpr_added",
+                gexpr_id=gexpr.id, group=group.id, op=expr.op.name,
+            )
         # New logical expressions invalidate exploration fixpoints.
         if expr.op.is_logical:
             group.explored = False
@@ -222,12 +229,22 @@ class Memo:
         gexpr.implemented = True
         group.gexprs.append(gexpr)
         self._gexpr_by_id[gexpr.id] = gexpr
+        if self.tracer.enabled:
+            self.tracer.record(
+                "gexpr_added",
+                gexpr_id=gexpr.id, group=group.id, op=op.name, enforcer=True,
+            )
+            self.tracer.record(
+                "motion_enforced", group=group.id, op=op.name
+            )
         return gexpr
 
     def _new_group(self, expr: Expression) -> Group:
         group = Group(len(self.groups), expr.output_columns())
         self.groups.append(group)
         self._parent.append(group.id)
+        if self.tracer.enabled:
+            self.tracer.record("group_created", group=group.id)
         return group
 
     # ------------------------------------------------------------------
@@ -293,6 +310,14 @@ class Memo:
 
     def num_gexprs(self) -> int:
         return sum(len(g.gexprs) for g in self.live_groups())
+
+    def num_groups_created(self) -> int:
+        """All groups ever created, including ones merged away since."""
+        return len(self.groups)
+
+    def num_gexprs_created(self) -> int:
+        """All group expressions ever created, including dedup victims."""
+        return self._next_gexpr_id
 
     def all_gexprs(self) -> Iterable[GroupExpression]:
         for group in self.live_groups():

@@ -29,6 +29,7 @@ from repro.search.plan import PlanNode
 from repro.sql.ast import SelectStmt
 from repro.sql.parser import parse
 from repro.sql.translator import TranslatedQuery, Translator
+from repro.trace import NULL_TRACER, NullTracer, Tracer
 from repro.xforms.normalization import preprocess
 
 
@@ -53,6 +54,11 @@ class OptimizationResult:
     #: open problem, implemented as multiplicative damping; see
     #: repro.stats.derivation).
     stats_confidence: float = 1.0
+    #: The structured trace of this session: a :class:`repro.trace.Tracer`
+    #: when the session was created with one, else the shared NullTracer.
+    #: Benchmarks and AMPERe dumps read per-stage timings and event
+    #: counts from here.
+    trace: Union[Tracer, NullTracer, None] = None
 
     def explain(self) -> str:
         return self.plan.explain()
@@ -66,21 +72,29 @@ class Orca:
         catalog: Database,
         config: Optional[OptimizerConfig] = None,
         cost_params: Optional[CostParams] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.catalog = catalog
         self.config = config or OptimizerConfig()
         self.cost_params = cost_params
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     def optimize(self, sql_or_stmt: Union[str, SelectStmt]) -> OptimizationResult:
         """Optimize one SQL statement end to end."""
         start = time.perf_counter()
-        stmt = parse(sql_or_stmt) if isinstance(sql_or_stmt, str) else sql_or_stmt
+        tracer = self.tracer
+        if isinstance(sql_or_stmt, str):
+            with tracer.span("parse"):
+                stmt = parse(sql_or_stmt)
+        else:
+            stmt = sql_or_stmt
         factory = ColumnFactory()
         translator = Translator(
             self.catalog, factory, share_ctes=self.config.enable_cte_sharing
         )
-        query = translator.translate(stmt)
+        with tracer.span("translate"):
+            query = translator.translate(stmt)
         result = self.optimize_translated(query, factory)
         result.opt_time_seconds = time.perf_counter() - start
         return result
@@ -89,7 +103,10 @@ class Orca:
         self, query: TranslatedQuery, factory: ColumnFactory
     ) -> OptimizationResult:
         """Optimize an already-translated query."""
-        cost_model = CostModel(self.cost_params, segments=self.config.segments)
+        tracer = self.tracer
+        cost_model = CostModel(
+            self.cost_params, segments=self.config.segments, tracer=tracer
+        )
         cte_delivered: dict[int, object] = {}
         cte_producer_cols: dict[int, tuple] = {}
         cte_stats: dict[int, tuple] = {}
@@ -102,14 +119,16 @@ class Orca:
 
         # 1. Optimize shared CTE producers first, in dependency order.
         for cte in query.cte_defs:
-            tree = preprocess(
-                cte.tree, self.config, self.catalog.stats, factory
-            )
-            memo = Memo()
-            memo.set_root(memo.insert(tree))
+            with tracer.span("normalize"):
+                tree = preprocess(
+                    cte.tree, self.config, self.catalog.stats, factory
+                )
+            memo = Memo(tracer=tracer)
+            with tracer.span("copy_in"):
+                memo.set_root(memo.insert(tree))
             engine = SearchEngine(
                 memo, self.config, factory, self.catalog.stats,
-                cost_model, cte_stats=dict(cte_stats),
+                cost_model, cte_stats=dict(cte_stats), tracer=tracer,
             )
             engine.rule_ctx.cte_delivered = cte_delivered
             engine.rule_ctx.cte_producer_cols = cte_producer_cols
@@ -137,12 +156,16 @@ class Orca:
             memory += deep_sizeof(memo)
 
         # 2. Optimize the main tree.
-        tree = preprocess(query.tree, self.config, self.catalog.stats, factory)
-        memo = Memo()
-        memo.set_root(memo.insert(tree))
+        with tracer.span("normalize"):
+            tree = preprocess(
+                query.tree, self.config, self.catalog.stats, factory
+            )
+        memo = Memo(tracer=tracer)
+        with tracer.span("copy_in"):
+            memo.set_root(memo.insert(tree))
         engine = SearchEngine(
             memo, self.config, factory, self.catalog.stats,
-            cost_model, cte_stats=cte_stats,
+            cost_model, cte_stats=cte_stats, tracer=tracer,
         )
         engine.rule_ctx.cte_delivered = cte_delivered
         engine.rule_ctx.cte_producer_cols = cte_producer_cols
@@ -178,4 +201,5 @@ class Orca:
             kind_counts=kind_counts,
             memory_bytes=memory,
             job_log=job_log,
+            trace=tracer,
         )

@@ -23,6 +23,7 @@ from repro.search.extractor import extract_plan
 from repro.search.jobs import JobGroupOptimize
 from repro.search.plan import PlanNode
 from repro.stats.derivation import StatsDeriver
+from repro.trace import NULL_TRACER
 from repro.xforms.registry import default_rule_set
 from repro.xforms.rule import RuleContext
 
@@ -38,10 +39,12 @@ class SearchEngine:
         table_stats: Callable,
         cost_model: Optional[CostModel] = None,
         cte_stats: Optional[dict] = None,
+        tracer=None,
     ):
         self.memo = memo
         self.config = config
         self.column_factory = column_factory
+        self.tracer = tracer or NULL_TRACER
         self.cost_model = cost_model or CostModel(segments=config.segments)
         self.deriver = StatsDeriver(memo, config, table_stats, cte_stats)
         self.rule_ctx = RuleContext(
@@ -68,7 +71,8 @@ class SearchEngine:
         root = self.memo.root
         assert root is not None, "memo root not set"
         for stage in self.config.stages:
-            self._run_stage(req, stage.rules, stage.timeout_jobs)
+            with self.tracer.span(f"search:{stage.name}"):
+                self._run_stage(req, stage.rules, stage.timeout_jobs)
             if stage.cost_threshold is not None:
                 cost = self.best_cost(req)
                 if cost is not None and cost <= stage.cost_threshold:
@@ -76,8 +80,10 @@ class SearchEngine:
         if self.best_cost(req) is None:
             # Safety net: a final unbounded stage with every enabled rule,
             # guaranteeing a plan when earlier stage budgets cut search off.
-            self._run_stage(req, None, None)
-        return self.extract(req)
+            with self.tracer.span("search:safety-net"):
+                self._run_stage(req, None, None)
+        with self.tracer.span("extract"):
+            return self.extract(req)
 
     def best_cost(self, req: RequiredProps) -> Optional[float]:
         group = self.memo.root_group()
@@ -98,12 +104,14 @@ class SearchEngine:
         stage_rules: Optional[frozenset[str]],
         job_budget: Optional[int],
     ) -> None:
-        rules = default_rule_set(self.config, stage_rules)
+        rules = default_rule_set(self.config, stage_rules, tracer=self.tracer)
         self.exploration_rules = [r for r in rules if r.is_exploration]
         self.implementation_rules = [r for r in rules if r.is_implementation]
         self.epoch += 1
         self._reset_fixpoints()
-        scheduler = JobScheduler(workers=self.config.workers)
+        scheduler = JobScheduler(
+            workers=self.config.workers, tracer=self.tracer
+        )
         scheduler.run(
             JobGroupOptimize(self, self.memo.root, req), job_budget=job_budget
         )

@@ -166,6 +166,13 @@ class JobXform(Job):
         for expr in results:
             self.engine.memo.insert(expr, target_group=group_id)
         self.engine.xform_count += 1
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.record(
+                "xform_applied",
+                rule=self.rule.name, gexpr_id=self.gexpr.id,
+                results=len(results),
+            )
         return None
 
 
@@ -183,6 +190,12 @@ class JobGroupOptimize(Job):
 
     def step(self, scheduler):
         group = self.engine.memo.group(self.group_id)
+        tracer = self.engine.tracer
+        if tracer.enabled and group.existing_context(self.req) is None:
+            tracer.record(
+                "property_request",
+                group=group.id, req=repr(self.req),
+            )
         ctx = group.context(self.req)
         if ctx.done:
             return None

@@ -1,0 +1,269 @@
+"""Structured optimizer tracing: typed events, spans, counters, dumps.
+
+The paper's evaluation is entirely about *measuring* the optimizer —
+plan quality, optimization time, memory, scheduler scalability (Figures
+11-15) — so every layer of this reproduction emits structured trace
+events through a :class:`Tracer`:
+
+- pipeline spans (``stage_start`` / ``stage_end``) with wall-time
+  aggregation: parse, translate, normalize, copy_in, search stages,
+  extract, execute;
+- optimizer internals: ``group_created``, ``gexpr_added``,
+  ``xform_applied``, ``property_request``, ``cost_computed``,
+  ``motion_enforced``, ``rules_selected``;
+- scheduler activity: ``job_scheduled`` / ``job_done`` (with per-job-kind
+  time aggregation);
+- execution: ``operator_executed`` per plan node plus a final
+  ``execution_metrics`` snapshot of the simulated clock.
+
+The default is a :class:`NullTracer` singleton (:data:`NULL_TRACER`)
+whose methods are no-ops; hot call sites additionally guard on
+``tracer.enabled`` so the untraced path stays within noise of the
+pre-tracing code.  A populated :class:`Tracer` renders a human-readable
+:meth:`~Tracer.summary` table (the CLI's ``--trace``) and serializes to
+JSON via :meth:`~Tracer.to_json` for replay / embedding in AMPERe dumps.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+#: Event kinds emitted by the instrumented pipeline.  ``record`` accepts
+#: any kind string, but these are the ones the built-in instrumentation
+#: produces (and the ones trace-invariant tests reason about).
+EVENT_KINDS = frozenset({
+    "stage_start",
+    "stage_end",
+    "rules_selected",
+    "xform_applied",
+    "group_created",
+    "gexpr_added",
+    "job_scheduled",
+    "job_done",
+    "property_request",
+    "cost_computed",
+    "motion_enforced",
+    "operator_executed",
+    "execution_metrics",
+})
+
+
+@dataclass
+class TraceEvent:
+    """One typed trace event: a kind, a timestamp offset and a payload."""
+
+    kind: str
+    t: float  # seconds since the tracer was created
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "t": self.t, "data": self.data}
+
+
+class NullTracer:
+    """The zero-overhead default: every operation is a no-op.
+
+    ``enabled`` is False so hot paths can skip building event payloads
+    entirely (``if tracer.enabled: tracer.record(...)``).
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def record(self, kind: str, **data: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, stage: str) -> Iterator[None]:
+        yield
+
+    def count(self, kind: str) -> int:
+        return 0
+
+    def events_of(self, kind: str) -> list[TraceEvent]:
+        return []
+
+    def to_dict(self) -> dict[str, Any]:
+        return {}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return "{}"
+
+    def summary(self) -> str:
+        return "(tracing disabled)"
+
+
+#: Shared NullTracer instance; safe because it holds no state.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects typed events and aggregates per-stage / per-kind metrics.
+
+    ``capture_events=False`` keeps only the aggregates (counters, stage
+    times, job-kind times) — useful when tracing very large optimization
+    sessions where the raw event list would dominate memory.
+    """
+
+    enabled = True
+
+    def __init__(self, capture_events: bool = True):
+        self.capture_events = capture_events
+        self.events: list[TraceEvent] = []
+        #: event kind -> number of times recorded.
+        self.counters: dict[str, int] = {}
+        #: stage name -> (completed span count, total seconds).
+        self.stage_counts: dict[str, int] = {}
+        self.stage_times: dict[str, float] = {}
+        #: scheduler job kind -> (completed jobs, total step seconds).
+        self.job_kind_counts: dict[str, int] = {}
+        self.job_kind_times: dict[str, float] = {}
+        self._t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def record(self, kind: str, **data: Any) -> None:
+        """Record one event; aggregates are always updated, the raw event
+        only when ``capture_events`` is set."""
+        self.counters[kind] = self.counters.get(kind, 0) + 1
+        if kind == "job_done":
+            jkind = data.get("job_kind", "?")
+            self.job_kind_counts[jkind] = self.job_kind_counts.get(jkind, 0) + 1
+            self.job_kind_times[jkind] = (
+                self.job_kind_times.get(jkind, 0.0) + data.get("seconds", 0.0)
+            )
+        if self.capture_events:
+            self.events.append(
+                TraceEvent(kind, time.perf_counter() - self._t0, data)
+            )
+
+    @contextmanager
+    def span(self, stage: str) -> Iterator[None]:
+        """Time a pipeline stage, emitting ``stage_start`` / ``stage_end``."""
+        self.record("stage_start", stage=stage)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stage_counts[stage] = self.stage_counts.get(stage, 0) + 1
+            self.stage_times[stage] = (
+                self.stage_times.get(stage, 0.0) + elapsed
+            )
+            self.record("stage_end", stage=stage, seconds=elapsed)
+
+    # ------------------------------------------------------------------
+    def count(self, kind: str) -> int:
+        return self.counters.get(kind, 0)
+
+    def events_of(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": 1,
+            "counters": dict(self.counters),
+            "stages": {
+                name: {
+                    "count": self.stage_counts[name],
+                    "seconds": self.stage_times[name],
+                }
+                for name in self.stage_counts
+            },
+            "job_kinds": {
+                kind: {
+                    "count": self.job_kind_counts[kind],
+                    "seconds": self.job_kind_times.get(kind, 0.0),
+                }
+                for kind in self.job_kind_counts
+            },
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Tracer":
+        """Rebuild a tracer (aggregates + events) from a JSON dump."""
+        payload = json.loads(text)
+        tracer = cls()
+        tracer.counters = dict(payload.get("counters", {}))
+        for name, agg in payload.get("stages", {}).items():
+            tracer.stage_counts[name] = agg["count"]
+            tracer.stage_times[name] = agg["seconds"]
+        for kind, agg in payload.get("job_kinds", {}).items():
+            tracer.job_kind_counts[kind] = agg["count"]
+            tracer.job_kind_times[kind] = agg["seconds"]
+        tracer.events = [
+            TraceEvent(e["kind"], e["t"], e.get("data", {}))
+            for e in payload.get("events", [])
+        ]
+        return tracer
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable per-stage / per-kind table (CLI ``--trace``)."""
+        lines = ["=== optimizer trace ==="]
+        if self.stage_counts:
+            lines.append(f"{'stage':24s} {'count':>7s} {'time(s)':>10s}")
+            for name in self.stage_counts:
+                lines.append(
+                    f"{name:24s} {self.stage_counts[name]:7d} "
+                    f"{self.stage_times[name]:10.4f}"
+                )
+        if self.job_kind_counts:
+            lines.append("")
+            lines.append(f"{'job kind':24s} {'jobs':>7s} {'time(s)':>10s}")
+            for kind in sorted(
+                self.job_kind_counts, key=lambda k: -self.job_kind_counts[k]
+            ):
+                lines.append(
+                    f"{kind:24s} {self.job_kind_counts[kind]:7d} "
+                    f"{self.job_kind_times.get(kind, 0.0):10.4f}"
+                )
+        counter_only = {
+            k: v for k, v in self.counters.items()
+            if k not in ("stage_start", "stage_end", "job_done")
+        }
+        if counter_only:
+            lines.append("")
+            lines.append(f"{'event':24s} {'count':>7s}")
+            for kind in sorted(counter_only, key=lambda k: -counter_only[k]):
+                lines.append(f"{kind:24s} {counter_only[kind]:7d}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({sum(self.counters.values())} events, "
+            f"{len(self.stage_counts)} stages)"
+        )
+
+
+def check_span_consistency(tracer: Tracer) -> list[str]:
+    """Verify every ``stage_start`` has a matching ``stage_end``.
+
+    Returns a list of problem descriptions (empty when consistent).
+    Spans may nest; per stage name, starts and ends must balance and
+    never go negative.
+    """
+    problems: list[str] = []
+    depth: dict[str, int] = {}
+    for event in tracer.events:
+        if event.kind == "stage_start":
+            stage = event.data.get("stage", "?")
+            depth[stage] = depth.get(stage, 0) + 1
+        elif event.kind == "stage_end":
+            stage = event.data.get("stage", "?")
+            depth[stage] = depth.get(stage, 0) - 1
+            if depth[stage] < 0:
+                problems.append(f"stage_end without stage_start: {stage}")
+    for stage, d in depth.items():
+        if d > 0:
+            problems.append(f"unclosed stage_start: {stage}")
+    return problems

@@ -45,6 +45,9 @@ class AMPEReDump:
     segments: int = 16
     stacktrace: Optional[str] = None
     expected_plan_xml: Optional[ET.Element] = None
+    #: JSON dump of the capturing session's structured trace
+    #: (:meth:`repro.trace.Tracer.to_json`), when one was collected.
+    trace_json: Optional[str] = None
 
     # ------------------------------------------------------------------
     def to_xml(self) -> ET.Element:
@@ -68,6 +71,9 @@ class AMPEReDump:
             plan = self.expected_plan_xml.find("Plan")
             if plan is not None:
                 thread.append(plan)
+        if self.trace_json:
+            trace = ET.SubElement(thread, "OptimizerTrace")
+            trace.text = self.trace_json
         return root
 
     def to_string(self) -> str:
@@ -102,6 +108,7 @@ class AMPEReDump:
         if plan is not None:
             plan_wrapper = ET.Element("DXLMessage")
             plan_wrapper.append(plan)
+        trace_elem = thread.find("OptimizerTrace")
         return cls(
             query_xml=wrapper,
             metadata_xml=metadata,
@@ -109,6 +116,7 @@ class AMPEReDump:
             segments=segments,
             stacktrace=st.text if st is not None else None,
             expected_plan_xml=plan_wrapper,
+            trace_json=trace_elem.text if trace_elem is not None else None,
         )
 
     @classmethod
@@ -125,6 +133,7 @@ def capture_dump(
     config: Optional[OptimizerConfig] = None,
     exception: Optional[BaseException] = None,
     expected_plan: Optional[PlanNode] = None,
+    trace=None,
 ) -> AMPEReDump:
     """Capture a minimal repro for a query.
 
@@ -166,6 +175,9 @@ def capture_dump(
         stacktrace=stack,
         expected_plan_xml=(
             serialize_plan(expected_plan) if expected_plan is not None else None
+        ),
+        trace_json=(
+            trace.to_json() if trace is not None and trace.enabled else None
         ),
     )
 

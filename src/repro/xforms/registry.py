@@ -66,7 +66,9 @@ def rules_by_name() -> dict[str, Rule]:
 
 
 def default_rule_set(
-    config: OptimizerConfig, stage_rules: Optional[frozenset[str]] = None
+    config: OptimizerConfig,
+    stage_rules: Optional[frozenset[str]] = None,
+    tracer=None,
 ) -> list[Rule]:
     """Rules active for a session/stage after applying config toggles."""
     rules = []
@@ -79,4 +81,11 @@ def default_rule_set(
                 not config.enable_join_reordering:
             continue
         rules.append(rule)
+    if tracer is not None and tracer.enabled:
+        tracer.record(
+            "rules_selected",
+            count=len(rules),
+            names=[r.name for r in rules],
+            staged=stage_rules is not None,
+        )
     return rules

@@ -64,6 +64,14 @@ def make_partitioned_db(seed: int = 0) -> Database:
     return db
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden plan snapshots under tests/golden/ "
+             "instead of comparing against them",
+    )
+
+
 @pytest.fixture(scope="session")
 def small_db() -> Database:
     return make_small_db()

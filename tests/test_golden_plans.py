@@ -1,0 +1,62 @@
+"""Golden-plan regression tests over the TPC-DS-style workload.
+
+Each workload query's ``plan.explain()`` output is snapshotted under
+``tests/golden/<query_id>.txt``.  A PR that changes any plan shows up as
+a reviewable diff in the golden file instead of a silent regression.
+
+To regenerate after an intentional optimizer change::
+
+    python -m pytest tests/test_golden_plans.py --update-golden
+
+The snapshots are deterministic: the database is built at a fixed scale
+and seed, and the optimizer itself is deterministic for a fixed config.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.optimizer import Orca
+from repro.workloads import QUERIES
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Fixed snapshot environment; changing either invalidates all goldens.
+GOLDEN_SCALE = 0.08
+GOLDEN_SEGMENTS = 8
+
+
+@pytest.fixture(scope="module")
+def golden_orca(tpcds_db):
+    return Orca(tpcds_db, OptimizerConfig(segments=GOLDEN_SEGMENTS))
+
+
+@pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.id)
+def test_golden_plan(query, golden_orca, request):
+    result = golden_orca.optimize(query.sql)
+    text = result.explain() + "\n"
+    path = GOLDEN_DIR / f"{query.id}.txt"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return
+    assert path.exists(), (
+        f"missing golden snapshot {path.name}; run "
+        "pytest tests/test_golden_plans.py --update-golden"
+    )
+    expected = path.read_text(encoding="utf-8")
+    assert text == expected, (
+        f"plan for {query.id} changed; if intentional, regenerate with "
+        "pytest tests/test_golden_plans.py --update-golden and review "
+        "the diff"
+    )
+
+
+def test_no_stale_goldens():
+    """Every snapshot corresponds to a current workload query."""
+    known = {f"{q.id}.txt" for q in QUERIES}
+    on_disk = {p.name for p in GOLDEN_DIR.glob("*.txt")}
+    assert on_disk <= known, f"stale golden files: {sorted(on_disk - known)}"
