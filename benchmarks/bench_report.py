@@ -1,0 +1,173 @@
+"""Benchmark report + regression gate for CI.
+
+Runs the full TPC-DS-style workload through the optimizer and writes a
+``BENCH_<date>.json`` snapshot of the paper's evaluation metrics:
+optimization time, Memo size, job counts, branch-and-bound pruning
+effectiveness, and plan-cache hit rate.  When given a committed baseline
+JSON it compares every gated metric and exits non-zero if any one
+regressed by more than the threshold (default 20%).
+
+Wall-clock time and memory are reported but not gated: CI runners are
+too noisy for a hard time gate, while job/Memo counts are fully
+deterministic.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_report.py \
+        --out BENCH_2026-08-06.json \
+        --baseline benchmarks/baseline_bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import statistics
+import sys
+
+from repro.config import OptimizerConfig
+from repro.optimizer import Orca
+from repro.workloads import QUERIES, build_populated_db
+
+#: metric name -> direction ("higher_is_worse" / "lower_is_worse").
+#: Only deterministic count/ratio metrics are gated.
+GATED_METRICS = {
+    "total_jobs": "higher_is_worse",
+    "opt_gexpr_jobs": "higher_is_worse",
+    "memo_groups": "higher_is_worse",
+    "memo_gexprs": "higher_is_worse",
+    "pruning_job_savings": "lower_is_worse",
+    "pruning_ratio": "lower_is_worse",
+    "plan_cache_hit_rate": "lower_is_worse",
+}
+
+#: Reported for trend tracking, never gated.
+UNGATED_METRICS = ("avg_opt_time_seconds", "avg_memory_mb")
+
+
+def run_workload(scale: float, segments: int) -> dict:
+    """Collect every metric over the full workload."""
+    db = build_populated_db(scale=scale)
+
+    pruned = Orca(db, OptimizerConfig(segments=segments))
+    rows = [pruned.optimize(q.sql) for q in QUERIES]
+
+    exhaustive = Orca(
+        db, OptimizerConfig(segments=segments, enable_cost_bound_pruning=False)
+    )
+    base_rows = [exhaustive.optimize(q.sql) for q in QUERIES]
+
+    # Plan-cache hit rate: the workload repeated once against a warm cache.
+    cached = Orca(
+        db, OptimizerConfig(
+            segments=segments, enable_plan_cache=True,
+            plan_cache_size=len(QUERIES) + 1,
+        )
+    )
+    for _pass in range(2):
+        for q in QUERIES:
+            cached.optimize(q.sql)
+    cache = cached.plan_cache.stats()
+
+    opt_jobs = sum(
+        r.kind_counts.get("Opt(gexpr,req)", 0) for r in rows
+    )
+    base_opt_jobs = sum(
+        r.kind_counts.get("Opt(gexpr,req)", 0) for r in base_rows
+    )
+    pruned_alts = sum(r.pruned_alternatives for r in rows)
+    costed_alts = sum(r.costed_alternatives for r in rows)
+    return {
+        "total_jobs": sum(r.jobs_executed for r in rows),
+        "opt_gexpr_jobs": opt_jobs,
+        "memo_groups": sum(r.num_groups for r in rows),
+        "memo_gexprs": sum(r.num_gexprs for r in rows),
+        "pruning_job_savings": round(1.0 - opt_jobs / base_opt_jobs, 4),
+        "pruning_ratio": round(
+            pruned_alts / max(pruned_alts + costed_alts, 1), 4
+        ),
+        "plan_cache_hit_rate": round(
+            cache["hits"] / max(cache["hits"] + cache["misses"], 1), 4
+        ),
+        "avg_opt_time_seconds": round(
+            statistics.mean(r.opt_time_seconds for r in rows), 4
+        ),
+        "avg_memory_mb": round(
+            statistics.mean(r.memory_bytes for r in rows) / (1024 * 1024), 3
+        ),
+    }
+
+
+def compare(metrics: dict, baseline: dict, threshold: float) -> list[str]:
+    """Return a list of regression descriptions (empty when clean)."""
+    failures = []
+    base_metrics = baseline.get("metrics", baseline)
+    for name, direction in GATED_METRICS.items():
+        if name not in base_metrics or name not in metrics:
+            continue
+        base, now = float(base_metrics[name]), float(metrics[name])
+        if base == 0:
+            continue
+        change = (now - base) / abs(base)
+        worse = change if direction == "higher_is_worse" else -change
+        status = "REGRESSION" if worse > threshold else "ok"
+        print(f"  {name:24s} {base:12.4f} -> {now:12.4f} "
+              f"({change:+.1%})  {status}")
+        if worse > threshold:
+            failures.append(
+                f"{name}: {base} -> {now} ({change:+.1%}, "
+                f"threshold {threshold:.0%})"
+            )
+    for name in UNGATED_METRICS:
+        if name in base_metrics and name in metrics:
+            base, now = float(base_metrics[name]), float(metrics[name])
+            change = (now - base) / abs(base) if base else 0.0
+            print(f"  {name:24s} {base:12.4f} -> {now:12.4f} "
+                  f"({change:+.1%})  (not gated)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True, help="output JSON path")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="committed baseline JSON to gate against",
+    )
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="max tolerated relative regression (default 0.2)")
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--segments", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    metrics = run_workload(args.scale, args.segments)
+    report = {
+        "date": datetime.date.today().isoformat(),
+        "scale": args.scale,
+        "segments": args.segments,
+        "queries": len(QUERIES),
+        "metrics": metrics,
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"benchmark report written to {args.out}")
+    for name, value in metrics.items():
+        print(f"  {name:24s} {value}")
+
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+        print(f"\ncomparison vs {args.baseline} "
+              f"(gate: >{args.threshold:.0%} regression fails):")
+        failures = compare(metrics, baseline, args.threshold)
+        if failures:
+            print("\nbenchmark regressions detected:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print("\nno benchmark regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

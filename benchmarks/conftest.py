@@ -10,8 +10,6 @@ import pytest
 
 from repro.config import OptimizerConfig
 from repro.engine import Cluster, Executor
-from repro.optimizer import Orca
-from repro.planner import LegacyPlanner
 from repro.workloads import build_populated_db
 
 #: Scale for the MPP (Figure 12) experiments — the 10 TB analogue.

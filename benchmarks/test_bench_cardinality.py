@@ -69,7 +69,9 @@ def test_confidence_tracks_estimation_risk(card_reports, benchmark):
         third = max(len(ranked) // 3, 1)
         bottom = ranked[:third]
         top = ranked[-third:]
-        mean = lambda rows: sum(r["max_q"] for r in rows) / len(rows)
+        def mean(rows):
+            return sum(r["max_q"] for r in rows) / len(rows)
+
         return mean(top), mean(bottom)
 
     mean_top, mean_bottom = benchmark(tercile_means)

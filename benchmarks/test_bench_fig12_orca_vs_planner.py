@@ -10,7 +10,6 @@ shows a 5x speed-up over Planner").
 
 from __future__ import annotations
 
-import math
 
 import pytest
 

@@ -10,7 +10,6 @@ query in Presto".
 
 from __future__ import annotations
 
-import pytest
 
 from repro.systems.profiles import (
     ALL_PROFILES,

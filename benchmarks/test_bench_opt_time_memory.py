@@ -34,6 +34,27 @@ def measurements(hadoop_db):
             "jobs": result.jobs_executed,
             "xforms": result.xform_count,
             "kinds": result.kind_counts,
+            "cost": result.plan.cost,
+            "pruned": result.pruned_alternatives,
+            "costed": result.costed_alternatives,
+        })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def exhaustive_measurements(hadoop_db):
+    """The same workload with branch-and-bound pruning disabled."""
+    orca = Orca(
+        hadoop_db,
+        OptimizerConfig(segments=8, enable_cost_bound_pruning=False),
+    )
+    rows = []
+    for query in QUERIES:
+        result = orca.optimize(query.sql)
+        rows.append({
+            "query": query.id,
+            "kinds": result.kind_counts,
+            "cost": result.plan.cost,
         })
     return rows
 
@@ -81,6 +102,42 @@ def test_job_kind_mix(measurements, benchmark):
         "Opt(g,req)", "Opt(gexpr,req)", "Xform",
     }
     assert mix["Opt(gexpr,req)"] > mix["Exp(gexpr)"]
+
+
+def test_cost_bound_pruning_reduces_search(
+    measurements, exhaustive_measurements, benchmark
+):
+    """Branch-and-bound pruning (Section 4.1, Fig. 5) must cut at least
+    15% of Opt(gexpr,req) jobs on the workload aggregate without ever
+    changing the cost of the chosen plan."""
+    print("\n=== Cost-bound pruning vs exhaustive search ===")
+    print(f"{'query':28s} {'opt jobs':>9s} {'exhaust':>9s} {'saved':>7s}")
+    pruned_jobs = exhaustive_jobs = 0
+    for row, base in zip(measurements, exhaustive_measurements):
+        assert row["query"] == base["query"]
+        # Pruning is exact: the chosen plan's cost never changes.
+        assert row["cost"] == pytest.approx(base["cost"], rel=1e-9), \
+            f"pruning changed plan cost for {row['query']}"
+        p = row["kinds"].get("Opt(gexpr,req)", 0)
+        e = base["kinds"].get("Opt(gexpr,req)", 0)
+        pruned_jobs += p
+        exhaustive_jobs += e
+        saved = (1.0 - p / e) * 100.0 if e else 0.0
+        print(f"{row['query']:28s} {p:9d} {e:9d} {saved:6.1f}%")
+
+    total_saved = 1.0 - pruned_jobs / exhaustive_jobs
+    pruned_alts = sum(r["pruned"] for r in measurements)
+    costed_alts = sum(r["costed"] for r in measurements)
+    ratio = pruned_alts / max(pruned_alts + costed_alts, 1)
+    print(f"\nOpt(gexpr,req) jobs: {pruned_jobs} pruned vs "
+          f"{exhaustive_jobs} exhaustive ({total_saved * 100.0:.1f}% fewer)")
+    print(f"alternatives abandoned early: {pruned_alts} of "
+          f"{pruned_alts + costed_alts} ({ratio * 100.0:.1f}% pruning ratio)")
+
+    benchmark(lambda: sum(
+        r["kinds"].get("Opt(gexpr,req)", 0) for r in measurements
+    ))
+    assert total_saved >= 0.15
 
 
 def test_memo_compactness(measurements, benchmark):

@@ -58,6 +58,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--trace-json", metavar="PATH", default=None,
         help="write the full trace as JSON to PATH (implies --trace)",
     )
+    parser.add_argument(
+        "--plan-cache", action="store_true",
+        help="enable the parameterized plan cache (repeated query shapes "
+             "skip the search and re-bind literals)",
+    )
+    parser.add_argument(
+        "--plan-cache-stats", action="store_true",
+        help="print plan-cache hit/miss/eviction counters (implies "
+             "--plan-cache)",
+    )
 
 
 def _config(args) -> OptimizerConfig:
@@ -66,8 +76,14 @@ def _config(args) -> OptimizerConfig:
         "cte_sharing": "enable_cte_sharing",
         "partition_elimination": "enable_partition_elimination",
         "join_reordering": "enable_join_reordering",
+        "cost_bound_pruning": "enable_cost_bound_pruning",
+        "plan_cache": "enable_plan_cache",
     }
     kwargs = {"segments": args.segments}
+    if getattr(args, "plan_cache", False) or getattr(
+        args, "plan_cache_stats", False
+    ):
+        kwargs["enable_plan_cache"] = True
     rules = []
     for name in args.disable:
         if name in feature_flags:
@@ -103,13 +119,27 @@ def _emit_trace(args, tracer) -> None:
         print(f"\ntrace JSON written to {args.trace_json}")
 
 
+def _emit_cache_stats(args, orca) -> None:
+    if not getattr(args, "plan_cache_stats", False):
+        return
+    if orca is None or orca.plan_cache is None:
+        print("\nplan cache: disabled (the legacy Planner has no cache)")
+    else:
+        print(f"\n{orca.plan_cache.summary()}")
+
+
 def _optimize(args, db, sql, tracer=None):
     config = _config(args)
     if args.planner:
         # The legacy Planner has no instrumented search; only the
         # execution side of the trace applies to it.
-        return LegacyPlanner(db, config).optimize(sql)
-    return Orca(db, config, tracer=tracer).optimize(sql)
+        result = LegacyPlanner(db, config).optimize(sql)
+        _emit_cache_stats(args, None)
+        return result
+    orca = Orca(db, config, tracer=tracer)
+    result = orca.optimize(sql)
+    _emit_cache_stats(args, orca)
+    return result
 
 
 def cmd_explain(args) -> int:
@@ -124,11 +154,16 @@ def cmd_explain(args) -> int:
 def cmd_memo(args) -> int:
     db = build_populated_db(scale=args.scale, seed=args.seed)
     tracer = _tracer(args)
-    result = Orca(db, _config(args), tracer=tracer).optimize(args.sql)
-    print(result.memo.dump())
-    print(f"\n{result.num_groups} groups, {result.num_gexprs} group "
-          f"expressions, {result.jobs_executed} jobs, "
-          f"{result.xform_count} rule applications")
+    orca = Orca(db, _config(args), tracer=tracer)
+    result = orca.optimize(args.sql)
+    if result.memo is None:
+        print("(plan served from the plan cache; no Memo was built)")
+    else:
+        print(result.memo.dump())
+        print(f"\n{result.num_groups} groups, {result.num_gexprs} group "
+              f"expressions, {result.jobs_executed} jobs, "
+              f"{result.xform_count} rule applications")
+    _emit_cache_stats(args, orca)
     _emit_trace(args, tracer)
     return 0
 

@@ -19,14 +19,13 @@ Two flavors live here:
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
 from datetime import date, timedelta
 from typing import Any, Callable, Optional, Sequence
 
 from repro.catalog.database import Database
-from repro.catalog.statistics import Bucket, Histogram, TableStats
+from repro.catalog.statistics import Bucket, TableStats
 from repro.catalog.types import DataType, ordinal_to_date
 from repro.errors import CatalogError
 

@@ -10,7 +10,7 @@ all of that plus the cluster description needed by the cost model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Optional, Sequence
 
 
@@ -51,6 +51,19 @@ class OptimizerConfig:
     enable_cte_sharing: bool = True
     #: Enable cost-based join-order exploration (commutativity/associativity).
     enable_join_reordering: bool = True
+    #: Branch-and-bound search pruning (Section 4.1, Fig. 5): optimization
+    #: requests carry a cost upper bound, and candidates whose partially
+    #: accumulated cost already reaches the incumbent (or the requester's
+    #: bound) are abandoned without costing the rest of their children.
+    #: Off = exhaustive costing; the chosen plan's cost is identical either
+    #: way, which is what makes pruning directly testable.
+    enable_cost_bound_pruning: bool = True
+    #: Cache optimized plans keyed by (normalized-query fingerprint,
+    #: config, catalog version); literals are parameter markers, so a
+    #: repeated query shape skips search and re-binds parameters instead.
+    enable_plan_cache: bool = False
+    #: Maximum number of cached plans (LRU eviction beyond this).
+    plan_cache_size: int = 64
     #: Cap on exhaustive join reordering; larger joins use greedy linearization.
     join_order_dp_threshold: int = 7
     #: Number of worker threads for the job scheduler (1 = serial).

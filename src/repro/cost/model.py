@@ -22,7 +22,6 @@ from repro.memo.context import StatsObject
 from repro.ops import physical as ph
 from repro.props.distribution import (
     DistributionSpec,
-    HashedDist,
     ReplicatedDist,
     SingletonDist,
 )
@@ -185,6 +184,87 @@ class CostModel:
             return 0.0
         # Unknown physical operator: charge per-tuple processing.
         return p.startup + out_local * p.cpu_tuple
+
+    # ------------------------------------------------------------------
+    def local_cost_floor(
+        self,
+        op,
+        stats: StatsObject,
+        child_stats: Sequence[StatsObject],
+    ) -> float:
+        """Sound lower bound on :meth:`local_cost` over every possible
+        delivered-property combination.
+
+        Used by branch-and-bound pruning (Section 4.1, Fig. 5) to abandon
+        alternatives before their children are optimized.  Per-node row
+        counts assume the best case everywhere — fully partitioned
+        streams (``rows / segments``) — so for any actual distribution
+        the real local cost can only be larger.  Must stay consistent
+        with :meth:`_local_cost`; update both together.
+        """
+        p = self.params
+        seg = self.segments
+        out = max(stats.row_count, 0.0) / seg
+
+        def cin(i: int) -> float:
+            return max(child_stats[i].row_count, 0.0) / seg
+
+        if isinstance(op, ph.PhysicalDynamicTableScan):
+            return p.startup + out * p.scan_tuple * op.dpe.fraction
+        if isinstance(op, ph.PhysicalTableScan):
+            return p.startup + out * p.scan_tuple
+        if isinstance(op, ph.PhysicalIndexScan):
+            return p.index_startup
+        if isinstance(op, ph.PhysicalFilter):
+            return cin(0) * p.filter_factor
+        if isinstance(op, ph.PhysicalProject):
+            return cin(0) * p.project_factor * max(len(op.projections), 1)
+        if isinstance(op, ph.PhysicalHashJoin):
+            return (
+                p.startup + cin(1) * p.hash_build + cin(0) * p.hash_probe
+                + out * p.cpu_tuple * 0.5
+            )
+        if isinstance(op, ph.PhysicalMergeJoin):
+            return (
+                p.startup + (cin(0) + cin(1)) * p.cpu_tuple * 1.1
+                + out * p.cpu_tuple * 0.5
+            )
+        if isinstance(op, ph.PhysicalNLJoin):
+            pairs = cin(0) * max(child_stats[1].row_count, 1.0)
+            return p.startup + pairs * p.nl_factor + out * 0.5
+        if isinstance(op, ph.PhysicalCorrelatedNLJoin):
+            # The inner cost factor is clamped to >= 1.0 in local_cost.
+            return p.startup + cin(0)
+        if isinstance(op, (ph.PhysicalHashAgg, ph.PhysicalStreamAgg)):
+            factor = (
+                p.agg_factor
+                if isinstance(op, ph.PhysicalHashAgg)
+                else p.cpu_tuple
+            )
+            return p.startup + cin(0) * factor + out * p.cpu_tuple
+        if isinstance(op, ph.PhysicalSort):
+            n = cin(0)
+            return p.startup + n * math.log2(n + 2.0) * p.sort_factor
+        if isinstance(op, ph.PhysicalLimit):
+            return cin(0) * 0.1
+        if isinstance(op, ph.PhysicalWindow):
+            return p.startup + cin(0) * p.window_factor
+        if isinstance(op, ph.PhysicalAppend):
+            return sum(cin(i) for i in range(len(child_stats))) * 0.2
+        if isinstance(op, (ph.PhysicalGather, ph.PhysicalGatherMerge)):
+            # Motion cost is charged on full (not per-segment) rows.
+            return self._motion_cost(child_stats[0], full_fanout=False)
+        if isinstance(op, ph.PhysicalRedistribute):
+            return self._motion_cost(child_stats[0], full_fanout=False) / seg
+        if isinstance(op, ph.PhysicalBroadcast):
+            return self._motion_cost(child_stats[0], full_fanout=True)
+        if isinstance(op, ph.PhysicalCTEProducer):
+            return cin(0) * p.materialize_factor
+        if isinstance(op, ph.PhysicalCTEConsumer):
+            return p.startup + out * 0.5
+        if isinstance(op, ph.PhysicalSequence):
+            return 0.0
+        return 0.0
 
     # ------------------------------------------------------------------
     def _row_width(self, stats: StatsObject) -> float:

@@ -11,7 +11,6 @@ from repro.catalog.schema import DistributionPolicy, Table
 from repro.catalog.statistics import TableStats
 from repro.errors import DXLError
 from repro.ops import logical as lg
-from repro.ops import physical as ph
 from repro.ops.expression import Expression
 from repro.ops.scalar import (
     AggFunc,
@@ -28,7 +27,6 @@ from repro.ops.scalar import (
     ScalarExpr,
     WindowFunc,
 )
-from repro.props.order import OrderSpec
 from repro.search.plan import PlanNode
 
 NAMESPACE = "http://greenplum.com/dxl/v1"

@@ -14,17 +14,17 @@ correlation experiment (Section 6.2) meaningful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from repro.catalog.schema import DistributionPolicy
 from repro.cost.model import CostParams
-from repro.engine.cluster import Cluster, hash_bucket
+from repro.engine.cluster import Cluster
 from repro.engine.metrics import ExecutionMetrics
 from repro.errors import ExecutionError, OutOfMemoryError
 from repro.ops import physical as ph
-from repro.ops.logical import AggStage, ApplyKind, JoinKind
-from repro.ops.scalar import AggFunc, ColRef, ColRefExpr, Comparison, WindowFunc
+from repro.ops.logical import ApplyKind, JoinKind
+from repro.ops.scalar import AggFunc, ColRef, WindowFunc
 from repro.props.order import SortKey
 from repro.search.plan import PlanNode
 from repro.trace import NULL_TRACER
@@ -510,7 +510,6 @@ class Executor:
         out_cols = list(outer.cols) if left_only else list(outer.cols) + list(
             inner.cols
         )
-        combined_index = self._index(out_cols + list(inner.cols))
         null_pad = (None,) * len(inner.cols)
         kind = self._join_output_kind(outer, inner)
         out_buckets = []

@@ -31,7 +31,7 @@ import heapq
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterable, Optional, Sequence
 
 from repro.trace import NULL_TRACER
@@ -266,7 +266,6 @@ def simulate_makespan(records: Iterable[JobRecord], workers: int) -> float:
     worker_free = [0.0] * max(workers, 1)
     heapq.heapify(worker_free)
     finish = [0.0] * len(records)
-    completed = 0
     while ready:
         r_time, i = heapq.heappop(ready)
         w = heapq.heappop(worker_free)
@@ -274,7 +273,6 @@ def simulate_makespan(records: Iterable[JobRecord], workers: int) -> float:
         end = start + records[i].duration
         finish[i] = end
         heapq.heappush(worker_free, end)
-        completed += 1
         for dep in dependents.get(i, []):
             indegree[dep] -= 1
             ready_time[dep] = max(ready_time[dep], end)

@@ -8,7 +8,7 @@ optimization session uses them and unpinned when it completes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.mdp.mdid import MDId

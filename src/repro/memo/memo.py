@@ -90,7 +90,7 @@ class GroupExpression:
 class Group:
     """A container of logically equivalent group expressions."""
 
-    def __init__(self, group_id: int, output_cols: list[ColRef]):
+    def __init__(self, group_id: int, output_cols: list[ColRef], tracer=None):
         self.id = group_id
         self.gexprs: list[GroupExpression] = []
         self.output_cols = output_cols
@@ -99,6 +99,7 @@ class Group:
         self.contexts: dict[tuple, OptimizationContext] = {}
         self.explored = False
         self.implemented = False
+        self.tracer = tracer or NULL_TRACER
         #: Enforcer fingerprints already added, to avoid duplicates.
         self._enforcer_keys: set[tuple] = set()
 
@@ -108,6 +109,10 @@ class Group:
         if ctx is None:
             ctx = OptimizationContext(req=req)
             self.contexts[key] = ctx
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "property_request", group=self.id, req=repr(req)
+                )
         return ctx
 
     def existing_context(self, req: RequiredProps) -> Optional[OptimizationContext]:
@@ -240,7 +245,7 @@ class Memo:
         return gexpr
 
     def _new_group(self, expr: Expression) -> Group:
-        group = Group(len(self.groups), expr.output_columns())
+        group = Group(len(self.groups), expr.output_columns(), self.tracer)
         self.groups.append(group)
         self._parent.append(group.id)
         if self.tracer.enabled:
@@ -262,6 +267,23 @@ class Memo:
             gexpr.group_id = winner
             wgroup.gexprs.append(gexpr)
         wgroup._enforcer_keys |= lgroup._enforcer_keys
+        # Carry optimization state across the merge: the loser's contexts
+        # hold real, still-achievable incumbent costs (its expressions now
+        # live in the winner), so they keep seeding branch-and-bound
+        # pruning instead of being forgotten.
+        for key, lctx in lgroup.contexts.items():
+            wctx = wgroup.contexts.get(key)
+            if wctx is None:
+                lctx.reset_for_redo()
+                wgroup.contexts[key] = lctx
+            else:
+                wctx.request_bound(lctx.req_bound)
+                if lctx.best_gexpr_id is not None and (
+                    lctx.best_cost < wctx.best_cost
+                ):
+                    wctx.best_cost = lctx.best_cost
+                    wctx.best_gexpr_id = lctx.best_gexpr_id
+        lgroup.contexts = {}
         lgroup.gexprs = []
         wgroup.explored = False
         wgroup.implemented = False
@@ -292,6 +314,10 @@ class Memo:
                 else:
                     # Keep the survivor's accumulated state richer.
                     survivor.applied_rules |= gexpr.applied_rules
+                    for key, info in gexpr.plans.items():
+                        kept_info = survivor.plans.get(key)
+                        if kept_info is None or info.cost < kept_info.cost:
+                            survivor.plans[key] = info
             group.gexprs = kept
 
     # ------------------------------------------------------------------

@@ -33,7 +33,6 @@ from repro.props.distribution import (
     RANDOM,
     REPLICATED,
     ReplicatedDist,
-    RandomDist,
     SINGLETON,
     SingletonDist,
 )
@@ -910,7 +909,6 @@ class PhysicalAppend(PhysicalOp):
         if any(isinstance(d, SingletonDist) for d in dists):
             return None
         # Aligned hashed inputs deliver hashed output.
-        out_pos = {c.id: i for i, c in enumerate(self.output_cols)}
         if all(isinstance(d, HashedDist) for d in dists):
             positions = None
             for d, cols in zip(dists, self.input_cols):

@@ -15,7 +15,6 @@ predicates, project lists).  They are immutable trees supporting:
 
 from __future__ import annotations
 
-import itertools
 import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence

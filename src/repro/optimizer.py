@@ -21,6 +21,7 @@ from repro.gpos.memory import deep_sizeof
 from repro.memo.memo import Memo
 from repro.ops.physical import PhysicalCTEProducer
 from repro.ops.scalar import ColRef, ColumnFactory
+from repro.plancache import PlanCache, fingerprint
 from repro.props.distribution import ANY_DIST, SINGLETON
 from repro.props.order import OrderSpec, SortKey
 from repro.props.required import RequiredProps
@@ -40,8 +41,11 @@ class OptimizationResult:
     plan: PlanNode
     output_cols: list[ColRef]
     output_names: list[str]
-    query: TranslatedQuery
-    memo: Memo
+    #: The translated query, or None for a plan served from the plan
+    #: cache (translation is skipped entirely on a hit).
+    query: Optional[TranslatedQuery]
+    #: The session's Memo, or None for a plan-cache hit (no search ran).
+    memo: Optional[Memo]
     num_groups: int = 0
     num_gexprs: int = 0
     jobs_executed: int = 0
@@ -50,6 +54,16 @@ class OptimizationResult:
     opt_time_seconds: float = 0.0
     memory_bytes: int = 0
     job_log: list = field(default_factory=list)
+    #: Branch-and-bound accounting (see repro.search.jobs): alternatives
+    #: abandoned early, alternatives fully costed, and bounded searches
+    #: re-run for a looser requester bound.
+    pruned_alternatives: int = 0
+    costed_alternatives: int = 0
+    bound_redos: int = 0
+    #: Plan-cache outcome for this optimization: "" (cache disabled),
+    #: "miss", "hit" (exact parameter match) or "rebind" (cached plan
+    #: reused with re-bound parameter values).
+    plan_cache: str = ""
     #: Confidence score of the root cardinality estimate (Section 4.1's
     #: open problem, implemented as multiplicative damping; see
     #: repro.stats.derivation).
@@ -78,6 +92,13 @@ class Orca:
         self.config = config or OptimizerConfig()
         self.cost_params = cost_params
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Parameterized plan cache (Section 4.1 metadata versioning makes
+        #: catalog-keyed invalidation safe); None when disabled.
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(self.config.plan_cache_size, tracer=self.tracer)
+            if self.config.enable_plan_cache
+            else None
+        )
 
     # ------------------------------------------------------------------
     def optimize(self, sql_or_stmt: Union[str, SelectStmt]) -> OptimizationResult:
@@ -89,6 +110,24 @@ class Orca:
                 stmt = parse(sql_or_stmt)
         else:
             stmt = sql_or_stmt
+        cache_key = cache_params = None
+        if self.plan_cache is not None:
+            with tracer.span("plan_cache_lookup"):
+                shape, cache_params = fingerprint(stmt)
+                cache_key = (shape, self.config, self._catalog_versions())
+                hit = self.plan_cache.lookup(cache_key, cache_params)
+            if hit is not None:
+                return OptimizationResult(
+                    plan=hit.plan,
+                    output_cols=hit.output_cols,
+                    output_names=hit.output_names,
+                    query=None,
+                    memo=None,
+                    plan_cache=hit.kind,
+                    stats_confidence=hit.stats_confidence,
+                    trace=tracer,
+                    opt_time_seconds=time.perf_counter() - start,
+                )
         factory = ColumnFactory()
         translator = Translator(
             self.catalog, factory, share_ctes=self.config.enable_cte_sharing
@@ -96,8 +135,26 @@ class Orca:
         with tracer.span("translate"):
             query = translator.translate(stmt)
         result = self.optimize_translated(query, factory)
+        if self.plan_cache is not None:
+            result.plan_cache = "miss"
+            self.plan_cache.store(
+                cache_key,
+                cache_params,
+                result.plan,
+                result.output_cols,
+                result.output_names,
+                stats_confidence=result.stats_confidence,
+            )
         result.opt_time_seconds = time.perf_counter() - start
         return result
+
+    def _catalog_versions(self) -> tuple:
+        """Per-table metadata versions; any DDL/ANALYZE changes the cache
+        key, implicitly invalidating stale plans."""
+        return tuple(sorted(
+            (table.name, self.catalog.version(table.name))
+            for table in self.catalog.tables()
+        ))
 
     def optimize_translated(
         self, query: TranslatedQuery, factory: ColumnFactory
@@ -116,6 +173,7 @@ class Orca:
         kind_counts: dict[str, int] = {}
         job_log: list = []
         memory = 0
+        pruned = costed = redos = 0
 
         # 1. Optimize shared CTE producers first, in dependency order.
         for cte in query.cte_defs:
@@ -154,6 +212,9 @@ class Orca:
             for kind, count in engine.kind_counts.items():
                 kind_counts[kind] = kind_counts.get(kind, 0) + count
             memory += deep_sizeof(memo)
+            pruned += engine.pruned_alternatives
+            costed += engine.costed_alternatives
+            redos += engine.bound_redos
 
         # 2. Optimize the main tree.
         with tracer.span("normalize"):
@@ -183,6 +244,9 @@ class Orca:
         for kind, count in engine.kind_counts.items():
             kind_counts[kind] = kind_counts.get(kind, 0) + count
         memory += deep_sizeof(memo)
+        pruned += engine.pruned_alternatives
+        costed += engine.costed_alternatives
+        redos += engine.bound_redos
 
         root_stats = memo.root_group().stats
         return OptimizationResult(
@@ -201,5 +265,8 @@ class Orca:
             kind_counts=kind_counts,
             memory_bytes=memory,
             job_log=job_log,
+            pruned_alternatives=pruned,
+            costed_alternatives=costed,
+            bound_redos=redos,
             trace=tracer,
         )

@@ -1,0 +1,330 @@
+"""Parameterized plan cache: fingerprint, store, re-bind, reuse.
+
+Orca's most expensive component is the search itself, so a repeated
+query *shape* should not pay for it twice.  The cache normalizes a
+parsed statement by replacing every literal with an ordered parameter
+marker, producing a structural fingerprint plus the bound parameter
+values.  Cached plans are keyed by
+
+    (fingerprint, optimizer config, catalog version)
+
+so a configuration change or any DDL/ANALYZE (which bumps per-table
+versions, Section 4.1's Mdid versioning) invalidates stale entries
+implicitly — the old key simply stops being looked up and ages out of
+the LRU.
+
+A lookup with identical parameter values is an exact **hit**: the plan
+is returned (deep-copied) without translation or search.  A lookup with
+*different* parameter values **re-binds**: the cached plan is
+deep-copied and every embedded constant that corresponds to a parameter
+is substituted with the new value.  Re-binding is only attempted when
+it is provably unambiguous, which is recorded at store time:
+
+- every parameter value is distinct (under ``(type, value)``), so a
+  plan constant maps back to exactly one parameter;
+- every constant embedded in the physical plan is one of the parameters
+  (constant folding or rewrite-introduced literals disqualify the plan,
+  because a folded constant silently derived from a parameter could not
+  be re-bound);
+- no scan has statically eliminated partitions (the partition choice was
+  made from the *old* parameter values).
+
+Plans that fail these checks still serve exact-match hits.  Cost and
+cardinality annotations on a re-bound plan are carried over from the
+original optimization — the classic parameterized-plan trade-off: the
+plan shape is reused even though the new bindings might have justified
+a different plan.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.ops.physical import PhysicalIndexScan
+from repro.ops.scalar import ColRef, InList, Literal, ScalarExpr
+from repro.search.plan import PlanNode
+from repro.sql.ast import EIn, ELiteral
+from repro.trace import NULL_TRACER
+
+#: Marker standing in for one parameterized literal in a fingerprint.
+_PARAM = "?"
+
+
+# ----------------------------------------------------------------------
+# Query fingerprinting
+# ----------------------------------------------------------------------
+
+def fingerprint(stmt) -> tuple[tuple, tuple]:
+    """Normalize a parsed statement into ``(shape, params)``.
+
+    ``shape`` is a hashable structural fingerprint of the AST with every
+    literal replaced by a parameter marker; ``params`` are the literal
+    values in traversal order.  Two invocations of the same query text
+    with different constants produce the same shape and different
+    params.  LIKE patterns, LIMIT/OFFSET and identifiers stay
+    structural: they change the plan shape, not just the bindings.
+    """
+    params: list[Any] = []
+    shape = _fp(stmt, params)
+    return shape, tuple(params)
+
+
+def _fp(node: Any, params: list[Any]) -> Any:
+    if isinstance(node, ELiteral):
+        params.append(node.value)
+        return _PARAM
+    if isinstance(node, EIn) and node.values is not None:
+        params.extend(node.values)
+        return (
+            "EIn",
+            node.negated,
+            _fp(node.arg, params),
+            (_PARAM,) * len(node.values),
+        )
+    if node is None or isinstance(node, (bool, int, float, str, enum.Enum)):
+        return node
+    if isinstance(node, (list, tuple)):
+        return tuple(_fp(item, params) for item in node)
+    # Dataclass AST nodes: class name + fields in declaration order.
+    return (
+        type(node).__name__,
+        tuple(_fp(value, params) for value in vars(node).values()),
+    )
+
+
+def _pkey(value: Any) -> tuple:
+    """Identity key of one parameter value; typed so ``1 != 1.0 != True``."""
+    return (type(value).__name__, value)
+
+
+# ----------------------------------------------------------------------
+# Plan-side constant discovery and re-binding
+# ----------------------------------------------------------------------
+
+def _visit_scalar(expr: ScalarExpr, fn) -> None:
+    """Apply ``fn`` to every node of a scalar expression tree."""
+    fn(expr)
+    for value in vars(expr).values():
+        if isinstance(value, ScalarExpr):
+            _visit_scalar(value, fn)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, ScalarExpr):
+                    _visit_scalar(item, fn)
+
+
+def _plan_constants(plan: PlanNode) -> Optional[list[tuple]]:
+    """Identity keys of every constant embedded in the plan, or ``None``
+    when the plan is structurally not re-bindable (static partition
+    elimination baked the old parameter values into the plan shape)."""
+    keys: list[tuple] = []
+
+    def collect(expr: ScalarExpr) -> None:
+        if isinstance(expr, Literal):
+            keys.append(_pkey(expr.value))
+        elif isinstance(expr, InList):
+            keys.extend(_pkey(v) for v in expr.values)
+
+    for node in plan.walk():
+        op = node.op
+        if getattr(op, "partitions", None) is not None:
+            return None
+        if isinstance(op, PhysicalIndexScan):
+            for bound in (op.lo, op.hi):
+                if bound is not None:
+                    keys.append(_pkey(bound))
+        for expr in op.scalar_exprs():
+            _visit_scalar(expr, collect)
+    return keys
+
+
+def _rebind_plan(plan: PlanNode, mapping: dict[tuple, Any]) -> None:
+    """Substitute new parameter values into a (deep-copied) plan tree."""
+
+    def rewrite(expr: ScalarExpr) -> None:
+        if isinstance(expr, Literal):
+            expr.value = mapping.get(_pkey(expr.value), expr.value)
+        elif isinstance(expr, InList):
+            expr.values = tuple(
+                mapping.get(_pkey(v), v) for v in expr.values
+            )
+
+    for node in plan.walk():
+        op = node.op
+        if isinstance(op, PhysicalIndexScan):
+            if op.lo is not None:
+                op.lo = mapping.get(_pkey(op.lo), op.lo)
+            if op.hi is not None:
+                op.hi = mapping.get(_pkey(op.hi), op.hi)
+        for expr in op.scalar_exprs():
+            _visit_scalar(expr, rewrite)
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+
+@dataclass
+class CachedPlan:
+    """One cached optimization outcome."""
+
+    plan: PlanNode
+    output_cols: list[ColRef]
+    output_names: list[str]
+    #: Parameter values the plan was optimized with, in traversal order.
+    params: tuple
+    #: Whether re-binding different parameter values is unambiguous.
+    rebindable: bool
+    stats_confidence: float = 1.0
+
+
+@dataclass
+class CacheHit:
+    """A successful lookup: an independent copy of the cached plan."""
+
+    plan: PlanNode
+    output_cols: list[ColRef]
+    output_names: list[str]
+    #: ``"hit"`` for an exact parameter match, ``"rebind"`` otherwise.
+    kind: str
+    stats_confidence: float = 1.0
+
+
+class PlanCache:
+    """LRU cache of optimized plans keyed by normalized query shape."""
+
+    def __init__(self, capacity: int = 64, tracer=None):
+        self.capacity = max(capacity, 1)
+        self.tracer = tracer or NULL_TRACER
+        self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rebinds = 0
+        self.stores = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: tuple, params: tuple) -> Optional[CacheHit]:
+        """Return a reusable plan for ``key`` bound to ``params``, if any."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return self._miss(key)
+        if entry.params == params:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "plan_cache_hit", key=hash(key), rebound=False
+                )
+            return CacheHit(
+                plan=copy.deepcopy(entry.plan),
+                output_cols=list(entry.output_cols),
+                output_names=list(entry.output_names),
+                kind="hit",
+                stats_confidence=entry.stats_confidence,
+            )
+        mapping = self._rebind_mapping(entry, params)
+        if mapping is None:
+            return self._miss(key)
+        plan = copy.deepcopy(entry.plan)
+        _rebind_plan(plan, mapping)
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self.rebinds += 1
+        if self.tracer.enabled:
+            self.tracer.record("plan_cache_hit", key=hash(key), rebound=True)
+        return CacheHit(
+            plan=plan,
+            output_cols=list(entry.output_cols),
+            output_names=list(entry.output_names),
+            kind="rebind",
+            stats_confidence=entry.stats_confidence,
+        )
+
+    def store(
+        self,
+        key: tuple,
+        params: tuple,
+        plan: PlanNode,
+        output_cols: list[ColRef],
+        output_names: list[str],
+        stats_confidence: float = 1.0,
+    ) -> None:
+        """Cache one optimization outcome, evicting LRU entries beyond
+        capacity."""
+        self._entries[key] = CachedPlan(
+            plan=copy.deepcopy(plan),
+            output_cols=list(output_cols),
+            output_names=list(output_names),
+            params=params,
+            rebindable=self._rebindable(plan, params),
+            stats_confidence=stats_confidence,
+        )
+        self._entries.move_to_end(key)
+        self.stores += 1
+        if self.tracer.enabled:
+            self.tracer.record("plan_cache_store", key=hash(key))
+        while len(self._entries) > self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            if self.tracer.enabled:
+                self.tracer.record("plan_cache_evict", key=hash(evicted))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "rebinds": self.rebinds,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }
+
+    def summary(self) -> str:
+        s = self.stats()
+        return (
+            f"plan cache: {s['hits']} hits ({s['rebinds']} re-bound), "
+            f"{s['misses']} misses, {s['evictions']} evictions, "
+            f"{s['entries']}/{self.capacity} entries"
+        )
+
+    # ------------------------------------------------------------------
+    def _miss(self, key: tuple) -> None:
+        self.misses += 1
+        if self.tracer.enabled:
+            self.tracer.record("plan_cache_miss", key=hash(key))
+        return None
+
+    @staticmethod
+    def _rebindable(plan: PlanNode, params: tuple) -> bool:
+        pkeys = [_pkey(v) for v in params]
+        if len(set(pkeys)) != len(pkeys):
+            return False  # ambiguous: one constant, several parameters
+        constants = _plan_constants(plan)
+        if constants is None:
+            return False  # static partition elimination baked values in
+        return set(constants) <= set(pkeys)
+
+    @staticmethod
+    def _rebind_mapping(
+        entry: CachedPlan, params: tuple
+    ) -> Optional[dict[tuple, Any]]:
+        """old-value key -> new value, or None when re-binding is unsafe."""
+        if not entry.rebindable or len(entry.params) != len(params):
+            return None
+        if any(
+            type(new) is not type(old)
+            for old, new in zip(entry.params, params)
+        ):
+            return None
+        return {
+            _pkey(old): new for old, new in zip(entry.params, params)
+        }

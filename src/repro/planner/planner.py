@@ -17,11 +17,10 @@ Orca's wins:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.catalog.database import Database
-from repro.catalog.schema import DistributionPolicy
 from repro.config import OptimizerConfig
 from repro.errors import OptimizerError
 from repro.ops import physical as ph
@@ -50,7 +49,6 @@ from repro.ops.scalar import (
     make_conj,
 )
 from repro.props.distribution import (
-    DistributionSpec,
     HashedDist,
     RANDOM,
     REPLICATED,
@@ -58,7 +56,7 @@ from repro.props.distribution import (
     SINGLETON,
     SingletonDist,
 )
-from repro.props.order import ANY_ORDER, OrderSpec, SortKey
+from repro.props.order import OrderSpec, SortKey
 from repro.props.required import DerivedProps
 from repro.search.plan import PlanNode
 from repro.sql.ast import SelectStmt
@@ -251,7 +249,7 @@ class LegacyPlanner:
         pair_map = {l.id: r.id for l, r in zip(lkeys, rkeys)}
         if len(ld.columns) != len(rd.columns):
             return False
-        lkey_ids = {l.id for l in lkeys}
+        lkey_ids = {key.id for key in lkeys}
         if not set(ld.columns) <= lkey_ids:
             return False
         return tuple(pair_map.get(c) for c in ld.columns) == rd.columns
@@ -261,7 +259,6 @@ class LegacyPlanner:
         sel = EQ_SEL if pairs else RANGE_SEL
         # NDV-free estimation: the classic 1/max(distinct) guess replaced
         # by a magic constant, as pre-histogram planners did.
-        stats_l = self.catalog.stats  # unused; planner stays crude
         inner = cross * sel if pairs else cross * sel
         if op.kind is JoinKind.INNER:
             return inner

@@ -12,10 +12,6 @@ when matching child plans against optimization requests (Section 4.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
-
-if TYPE_CHECKING:
-    from repro.ops.scalar import ColRef
 
 
 class DistributionSpec:

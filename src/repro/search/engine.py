@@ -13,7 +13,6 @@ from typing import Callable, Optional
 
 from repro.config import OptimizerConfig
 from repro.cost.model import CostModel
-from repro.errors import NoPlanError
 from repro.gpos.scheduler import JobRecord, JobScheduler
 from repro.memo.context import PlanInfo
 from repro.memo.memo import GroupExpression, Memo
@@ -62,6 +61,12 @@ class SearchEngine:
         self.job_log: list[JobRecord] = []
         self.jobs_executed = 0
         self.kind_counts: dict[str, int] = {}
+        #: Branch-and-bound accounting: alternatives abandoned before
+        #: full costing, alternatives fully costed, and bounded searches
+        #: re-run because a later requester needed a looser bound.
+        self.pruned_alternatives = 0
+        self.costed_alternatives = 0
+        self.bound_redos = 0
         #: cte_id -> optimized producer PlanNode (attached at extraction).
         self.cte_plans: dict[int, PlanNode] = {}
 
@@ -109,6 +114,9 @@ class SearchEngine:
         self.implementation_rules = [r for r in rules if r.is_implementation]
         self.epoch += 1
         self._reset_fixpoints()
+        # The root request is unbounded: every plan is interesting until
+        # an incumbent exists (the bound then tightens as children cost).
+        self.memo.root_group().context(req).request_bound(math.inf)
         scheduler = JobScheduler(
             workers=self.config.workers, tracer=self.tracer
         )
@@ -126,7 +134,7 @@ class SearchEngine:
             group.explored = False
             group.implemented = False
             for ctx in group.contexts.values():
-                ctx.done = False
+                ctx.reset_for_redo()
             for gexpr in group.gexprs:
                 if not gexpr.op.is_enforcer:
                     gexpr.explored = False

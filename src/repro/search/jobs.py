@@ -16,7 +16,7 @@ its exploration rules).
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Optional
 
 from repro.gpos.scheduler import Job
 from repro.memo.context import PlanInfo
@@ -30,6 +30,7 @@ from repro.ops.physical import (
     PhysicalSort,
 )
 from repro.props.distribution import (
+    ANY_DIST,
     HashedDist,
     ReplicatedDist,
     SingletonDist,
@@ -38,6 +39,49 @@ from repro.props.required import RequiredProps
 
 if TYPE_CHECKING:
     from repro.search.engine import SearchEngine
+
+#: The weakest possible optimization request: any distribution, no sort
+#: order.  Every physical plan of a group satisfies it, so the best cost
+#: of a *completed, exhaustive* context for this request is the global
+#: minimum over all plans of the group — a sound lower bound usable for
+#: branch-and-bound pruning before stricter requests are even issued.
+WEAKEST_REQ = RequiredProps(ANY_DIST)
+
+
+def group_cost_floor(memo, group_id: int) -> float:
+    """Sound lower bound on the cost of any plan rooted in ``group_id``.
+
+    Returns the best cost of the group's completed exhaustive
+    (ANY-dist, no-order) context when one exists, else 0.0.  Exhaustive
+    means the context finished without any bound-driven pruning
+    (``done_bound`` is +inf), so its best truly is the group minimum.
+    """
+    ctx = memo.group(group_id).existing_context(WEAKEST_REQ)
+    if (
+        ctx is not None
+        and ctx.done
+        and ctx.has_plan()
+        and ctx.done_bound == math.inf
+    ):
+        return ctx.best_cost
+    return 0.0
+
+
+def gexpr_cost_floor(engine: "SearchEngine", gexpr: GroupExpression) -> float:
+    """Sound lower bound on the total cost of any plan rooted at
+    ``gexpr``: the child groups' cost floors plus a conservative lower
+    bound on the operator's own local cost (best-case distribution
+    everywhere; see :meth:`CostModel.local_cost_floor`)."""
+    memo = engine.memo
+    total = 0.0
+    child_stats = []
+    for child in gexpr.child_groups:
+        total += group_cost_floor(memo, child)
+        child_stats.append(engine.deriver.derive(child))
+    stats = engine.deriver.derive(gexpr.group_id)
+    return total + engine.cost_model.local_cost_floor(
+        gexpr.op, stats, child_stats
+    )
 
 
 class JobGroupExplore(Job):
@@ -177,7 +221,14 @@ class JobXform(Job):
 
 
 class JobGroupOptimize(Job):
-    """Opt(g, req): least-cost plan rooted in group g satisfying req."""
+    """Opt(g, req): least-cost plan rooted in group g satisfying req.
+
+    The goal includes the context's redo generation: a context completed
+    under a tight cost bound and later requested with a looser one is
+    reset (see ``OptimizationContext.reset_for_redo``), and the bumped
+    generation keeps the redo from deduplicating against the finished
+    bounded run.
+    """
 
     kind = "Opt(g,req)"
 
@@ -186,16 +237,13 @@ class JobGroupOptimize(Job):
         self.engine = engine
         self.group_id = engine.memo.find(group_id)
         self.req = req
-        self.goal = ("opt-g", self.group_id, req.key())
+        generation = engine.memo.group(self.group_id).context(req).generation
+        self.goal = ("opt-g", self.group_id, req.key(), generation)
+        #: Sequential gexpr-job queue (cost-bound pruning mode only).
+        self._pending: list[GroupExpression] = []
 
     def step(self, scheduler):
         group = self.engine.memo.group(self.group_id)
-        tracer = self.engine.tracer
-        if tracer.enabled and group.existing_context(self.req) is None:
-            tracer.record(
-                "property_request",
-                group=group.id, req=repr(self.req),
-            )
         ctx = group.context(self.req)
         if ctx.done:
             return None
@@ -205,16 +253,77 @@ class JobGroupOptimize(Job):
         if self._step == 1:
             self._step = 2
             self._add_enforcers(group)
-            jobs = []
-            for gexpr in group.physical_gexprs():
-                if isinstance(gexpr.op, EnforcerOp) and not gexpr.op.serves(
-                    self.req
-                ):
+            gexprs = [
+                gexpr
+                for gexpr in group.physical_gexprs()
+                if not (
+                    isinstance(gexpr.op, EnforcerOp)
+                    and not gexpr.op.serves(self.req)
+                )
+            ]
+            if not self.engine.config.enable_cost_bound_pruning:
+                if gexprs:
+                    return [
+                        JobGexprOptimize(self.engine, g, self.req)
+                        for g in gexprs
+                    ]
+                ctx.finish()
+                return None
+            # Cheapest-looking expressions first (stable on ties): a good
+            # incumbent early lets the expensive expressions behind it be
+            # skipped outright at spawn time.
+            floors = {
+                g.id: gexpr_cost_floor(self.engine, g) for g in gexprs
+            }
+            order = {g.id: i for i, g in enumerate(gexprs)}
+            self._pending = sorted(
+                gexprs, key=lambda g: (floors[g.id], order[g.id])
+            )
+        # Pruning mode: optimize the expressions one at a time, so each
+        # completed expression's cost becomes the incumbent bound for the
+        # next one (Section 4.1, Fig. 5 — the bound tightens as the
+        # search for this goal progresses).  An expression whose child
+        # groups' cost floors already add up to the incumbent (or the
+        # requester bound) is skipped without spawning its job at all.
+        engine = self.engine
+        while self._pending:
+            nxt = self._pending.pop(0)
+            cached = nxt.plan_for(self.req)
+            if (
+                cached is not None
+                and cached.epoch == engine.epoch
+                and cached.complete
+            ):
+                # Already costed exactly this epoch (typically by an
+                # earlier bounded generation of this goal): consume the
+                # cached result without spawning a job.
+                ctx.consider(nxt.id, cached.cost)
+                continue
+            threshold = ctx.prune_threshold()
+            if math.isfinite(threshold):
+                floor = gexpr_cost_floor(engine, nxt)
+                if floor >= threshold:
+                    bound_driven = ctx.req_bound < ctx.best_cost
+                    if bound_driven:
+                        ctx.note_bound_prune(threshold)
+                    engine.pruned_alternatives += 1
+                    if engine.tracer.enabled:
+                        engine.tracer.record(
+                            "search_pruned",
+                            gexpr_id=nxt.id,
+                            group=self.group_id,
+                            req=repr(self.req),
+                            alt=-1,
+                            children_costed=0,
+                            partial=floor,
+                            threshold=threshold,
+                            reason=(
+                                "bound" if bound_driven else "incumbent"
+                            ),
+                        )
                     continue
-                jobs.append(JobGexprOptimize(self.engine, gexpr, self.req))
-            if jobs:
-                return jobs
-        ctx.done = True
+            return [JobGexprOptimize(engine, nxt, self.req)]
+        ctx.finish()
         return None
 
     def _add_enforcers(self, group) -> None:
@@ -246,7 +355,18 @@ class JobGroupOptimize(Job):
 
 
 class JobGexprOptimize(Job):
-    """Opt(gexpr, req): cost every child-request alternative of gexpr."""
+    """Opt(gexpr, req): cost the child-request alternatives of gexpr.
+
+    With cost-bound pruning enabled (the default) the alternatives are
+    walked child by child, carrying an upper bound that tightens as child
+    costs accumulate (Section 4.1, Fig. 5): a partially-costed
+    alternative whose children already cost as much as the incumbent best
+    of the (group, req) context — or as much as the loosest requester
+    bound — is abandoned without optimizing its remaining children, and
+    the decision is recorded as a ``search_pruned`` trace event.  With
+    pruning disabled every alternative's children are optimized up front
+    and costed exhaustively.
+    """
 
     kind = "Opt(gexpr,req)"
 
@@ -257,36 +377,216 @@ class JobGexprOptimize(Job):
         self.engine = engine
         self.gexpr = gexpr
         self.req = req
-        self.goal = ("opt-x", gexpr.id, req.key())
+        ctx = engine.memo.group(gexpr.group_id).context(req)
+        self.goal = ("opt-x", gexpr.id, req.key(), ctx.generation)
         self._alternatives: list[tuple[RequiredProps, ...]] = []
+        #: Bounded-walk cursor: current alternative, its not-yet-costed
+        #: child positions, and the accumulated partial cost.
+        self._alt_idx = 0
+        self._remaining: Optional[list[int]] = None
+        self._partial = 0.0
+        self._survivors: list[tuple[RequiredProps, ...]] = []
+        #: Best fully-costed alternative so far (bounded walk only; the
+        #: exhaustive path batch-costs ``_survivors`` at the end).
+        self._best: Optional[PlanInfo] = None
+        #: Tightest threshold at which this job abandoned an alternative
+        #: (None = every alternative was fully costed).
+        self._abandoned_at: Optional[float] = None
+        #: Lazily computed lower bound on this operator's local cost.
+        self._op_floor: Optional[float] = None
 
+    # ------------------------------------------------------------------
     def step(self, scheduler):
         engine = self.engine
         if self._step == 0:
             self._step = 1
             cached = self.gexpr.plan_for(self.req)
-            if cached is not None and cached.epoch == engine.epoch:
+            if (
+                cached is not None
+                and cached.epoch == engine.epoch
+                and cached.complete
+            ):
                 self._record(cached.cost)
                 return None
             op = self.gexpr.op
             if isinstance(op, EnforcerOp) and not op.serves(self.req):
                 return None
             self._alternatives = op.child_request_alternatives(self.req)
-            jobs = []
-            for alt in self._alternatives:
-                for child_group, child_req in zip(self.gexpr.child_groups, alt):
-                    jobs.append(
-                        JobGroupOptimize(engine, child_group, child_req)
+            if not engine.config.enable_cost_bound_pruning:
+                jobs = []
+                for alt in self._alternatives:
+                    for child_group, child_req in zip(
+                        self.gexpr.child_groups, alt
+                    ):
+                        jobs.append(
+                            JobGroupOptimize(engine, child_group, child_req)
+                        )
+                self._survivors = self._alternatives
+                if jobs:
+                    return jobs
+                return self._combine()
+        if not engine.config.enable_cost_bound_pruning:
+            return self._combine()
+        return self._bounded_walk()
+
+    # ------------------------------------------------------------------
+    def _bounded_walk(self):
+        """Advance the child-by-child bounded costing; returns the next
+        child job to wait on, or None once every alternative is resolved."""
+        engine = self.engine
+        memo = engine.memo
+        ctx = memo.group(self.gexpr.group_id).context(self.req)
+        while self._alt_idx < len(self._alternatives):
+            alt = self._alternatives[self._alt_idx]
+            if self._remaining is None:
+                self._remaining = list(range(len(alt)))
+            if not self._remaining:
+                # Every child costed: cost the alternative immediately and
+                # publish the result as the context's incumbent, so the
+                # remaining alternatives (and sibling expressions of this
+                # goal) prune against it right away.
+                info = engine.cost_alternative(self.gexpr, self.req, alt)
+                if info is not None:
+                    engine.costed_alternatives += 1
+                    if self._best is None or info.cost < self._best.cost:
+                        self._best = info
+                    ctx.consider(self.gexpr.id, info.cost)
+                self._advance()
+                continue
+            threshold = ctx.prune_threshold()
+            # Cost floors count against the bound: the operator's own
+            # minimum local cost plus, for each not-yet-costed child, the
+            # child group's known global minimum (see group_cost_floor) —
+            # so a hopeless alternative is dropped before its stricter
+            # child contexts are ever requested.
+            if self._op_floor is None and math.isfinite(threshold):
+                stats = engine.deriver.derive(self.gexpr.group_id)
+                child_stats = [
+                    engine.deriver.derive(c)
+                    for c in self.gexpr.child_groups
+                ]
+                self._op_floor = engine.cost_model.local_cost_floor(
+                    self.gexpr.op, stats, child_stats
+                )
+            rem_floor = (self._op_floor or 0.0) + sum(
+                group_cost_floor(memo, self.gexpr.child_groups[pos])
+                for pos in self._remaining
+            )
+            if self._partial + rem_floor >= threshold:
+                self._abandon(ctx, threshold)
+                continue
+            needed = threshold - self._partial
+            # Consume already-resolved children first (in any order the
+            # sum is the same): the partial cost rises as far as possible
+            # before a *new* optimization request has to be issued, so an
+            # abandoned alternative never creates the contexts it would
+            # only have needed had it survived.
+            consumed = False
+            drop = False
+            for pos in self._remaining:
+                child_group = self.gexpr.child_groups[pos]
+                child_req = alt[pos]
+                child_ctx = memo.group(child_group).existing_context(child_req)
+                if child_ctx is None or not child_ctx.done:
+                    continue
+                if not child_ctx.valid_for(needed):
+                    continue
+                if child_ctx.has_plan():
+                    self._partial += child_ctx.best_cost
+                    self._remaining.remove(pos)
+                    consumed = True
+                elif child_ctx.done_bound is not None and math.isfinite(
+                    child_ctx.done_bound
+                ):
+                    # The child only proved "no plan cheaper than its
+                    # bound"; the alternative's total is at least ours.
+                    self._abandon(ctx, threshold)
+                    drop = True
+                else:
+                    # Exhaustively unsatisfiable: drop the alternative,
+                    # exactly as exhaustive search would.
+                    self._advance()
+                    drop = True
+                break
+            if consumed or drop:
+                continue
+            # No resolved child left: request the first unresolved one.
+            pos = self._remaining[0]
+            child_group = self.gexpr.child_groups[pos]
+            child_req = alt[pos]
+            child_ctx = memo.group(child_group).context(child_req)
+            # Child searches run unbounded: their own incumbents + cost
+            # floors prune them internally, and the exhaustive-exact
+            # result is reusable by every later requester.  Propagating
+            # the tight ``needed`` margin instead was measured to lose
+            # more jobs to bound-redo re-optimization than it saves.
+            child_ctx.request_bound(math.inf)
+            if child_ctx.done and not child_ctx.valid_for(needed):
+                # Completed under a tighter bound than we now need
+                # (possible when a stage reset left a bounded result).
+                child_ctx.reset_for_redo()
+                engine.bound_redos += 1
+                if engine.tracer.enabled:
+                    engine.tracer.record(
+                        "bound_redo",
+                        group=memo.find(child_group), req=repr(child_req),
+                        needed=needed, done_bound=child_ctx.done_bound,
                     )
-            if jobs:
-                return jobs
-        # All child optimizations finished: combine and cost.
-        best: Optional[PlanInfo] = None
-        for alt in self._alternatives:
+            return [JobGroupOptimize(engine, child_group, child_req)]
+        return self._combine()
+
+    def _advance(self) -> None:
+        self._alt_idx += 1
+        self._remaining = None
+        self._partial = 0.0
+
+    def _abandon(self, ctx, threshold: float) -> None:
+        """Drop the current alternative: it cannot beat the incumbent /
+        satisfy any requester bound."""
+        engine = self.engine
+        bound_driven = ctx.req_bound < ctx.best_cost
+        if bound_driven:
+            ctx.note_bound_prune(threshold)
+        if self._abandoned_at is None or threshold < self._abandoned_at:
+            self._abandoned_at = threshold
+        engine.pruned_alternatives += 1
+        if engine.tracer.enabled:
+            engine.tracer.record(
+                "search_pruned",
+                gexpr_id=self.gexpr.id,
+                group=engine.memo.find(self.gexpr.group_id),
+                req=repr(self.req),
+                alt=self._alt_idx,
+                children_costed=(
+                    len(self._alternatives[self._alt_idx])
+                    - len(self._remaining or ())
+                ),
+                partial=self._partial,
+                threshold=threshold,
+                reason="bound" if bound_driven else "incumbent",
+            )
+        self._advance()
+
+    # ------------------------------------------------------------------
+    def _combine(self):
+        """Record the best alternative (batch-costing the survivors when
+        pruning is disabled; the bounded walk costs incrementally)."""
+        engine = self.engine
+        best: Optional[PlanInfo] = self._best
+        for alt in self._survivors:
             info = engine.cost_alternative(self.gexpr, self.req, alt)
-            if info is not None and (best is None or info.cost < best.cost):
+            if info is None:
+                continue
+            engine.costed_alternatives += 1
+            if best is None or info.cost < best.cost:
                 best = info
         if best is not None:
+            # A best computed after abandoning alternatives is still exact
+            # when it beats every abandonment threshold (each dropped
+            # alternative's total was already at least that threshold).
+            best.complete = (
+                self._abandoned_at is None or best.cost <= self._abandoned_at
+            )
             self.gexpr.record_plan(self.req, best)
             self._record(best.cost)
         return None

@@ -16,7 +16,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.catalog.types import BOOL, INT, TEXT
+from repro.catalog.types import INT
 from repro.errors import BindError, UnsupportedError
 from repro.ops.expression import Expression
 from repro.ops.logical import (
@@ -52,7 +52,7 @@ from repro.ops.scalar import (
     make_conj,
 )
 from repro.sql import ast as A
-from repro.sql.parser import AGG_FUNCS, WINDOW_ONLY_FUNCS, parse
+from repro.sql.parser import AGG_FUNCS, parse
 
 
 @dataclass
@@ -1109,7 +1109,7 @@ def _tree_used_columns(tree: Expression) -> set[int]:
     used: set[int] = set()
     for node in tree.walk():
         used |= node.op.used_columns()
-        from repro.ops.logical import LogicalGbAgg as _G, LogicalWindow as _W
+        from repro.ops.logical import LogicalGbAgg as _G
         if isinstance(node.op, _G):
             used |= {c.id for c in node.op.group_cols}
         if isinstance(node.op, LogicalLimit):

@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Optional
 
-from repro.catalog.statistics import ColumnStats, Histogram
+from repro.catalog.statistics import ColumnStats
 from repro.catalog.schema import Table
 from repro.config import OptimizerConfig
 from repro.errors import OptimizerError
@@ -268,7 +268,6 @@ class StatsDeriver:
         cross = left.row_count * right.row_count
         if cross <= 0:
             return 0.0
-        best_sel = 1.0
         combined_sel = 1.0
         for i, (l_id, r_id) in enumerate(equi):
             lh = left.column(l_id)

@@ -10,19 +10,14 @@ reproducing the mechanics behind Figures 13-15.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.catalog.database import Database
 from repro.config import OptimizerConfig
 from repro.engine.cluster import Cluster
 from repro.engine.executor import Executor
-from repro.errors import (
-    OutOfMemoryError,
-    ReproError,
-    TimeoutError_,
-    UnsupportedError,
-)
+from repro.errors import OutOfMemoryError, ReproError, TimeoutError_
 from repro.optimizer import Orca
 from repro.planner import LegacyPlanner
 from repro.sql.parser import parse

@@ -10,7 +10,7 @@ disjunctive join conditions and correlated subqueries."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 _NOBODY_HAS = frozenset(
     {"intersect", "except", "disjunctive_join", "correlated_subquery"}

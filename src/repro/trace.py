@@ -49,6 +49,16 @@ EVENT_KINDS = frozenset({
     "motion_enforced",
     "operator_executed",
     "execution_metrics",
+    # Branch-and-bound search pruning (Section 4.1, Fig. 5): an
+    # alternative abandoned before full costing, and a bounded (group,
+    # req) search re-run because a later requester needed a looser bound.
+    "search_pruned",
+    "bound_redo",
+    # Parameterized plan cache: lookup outcomes, stores and evictions.
+    "plan_cache_hit",
+    "plan_cache_miss",
+    "plan_cache_store",
+    "plan_cache_evict",
 })
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import traceback
 import xml.etree.ElementTree as ET
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
@@ -232,5 +232,7 @@ def plans_match(dump: AMPEReDump, result: OptimizationResult) -> bool:
         return True
     expected = dump.expected_plan_xml.find("Plan")
     actual = serialize_plan(result.plan).find("Plan")
-    normalize = lambda elem: "".join(to_string(elem).split())
+    def normalize(elem):
+        return "".join(to_string(elem).split())
+
     return normalize(expected) == normalize(actual)

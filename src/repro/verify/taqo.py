@@ -17,7 +17,7 @@ from typing import Optional, Sequence
 
 from repro.engine.cluster import Cluster
 from repro.engine.executor import Executor
-from repro.memo.memo import GroupExpression, Memo
+from repro.memo.memo import Memo
 from repro.ops.physical import PhysicalSequence
 from repro.props.required import RequiredProps
 from repro.search.plan import PlanNode
@@ -143,7 +143,7 @@ def sample_plans(
     """Sample up to ``n`` plans uniformly from the Memo's plan space."""
     rng = random.Random(seed)
     counts: dict = {}
-    space = count_plans(memo, memo.root, req, counts)
+    count_plans(memo, memo.root, req, counts)
     samples: list[SampledPlan] = []
     seen: set[float] = set()
     attempts = 0

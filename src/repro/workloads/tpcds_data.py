@@ -32,8 +32,12 @@ _BUY_POTENTIAL = (">10000", "5001-10000", "1001-5000", "501-1000",
 
 def table_row_counts(scale: float = 1.0) -> dict[str, int]:
     """Row counts per table at a given scale factor."""
-    dim = lambda n: max(int(n * min(scale, 4.0) ** 0.5), 4)
-    fact = lambda n: max(int(n * scale), 50)
+    def dim(n):
+        return max(int(n * min(scale, 4.0) ** 0.5), 4)
+
+    def fact(n):
+        return max(int(n * scale), 50)
+
     return {
         "date_dim": DATE_SK_HI,
         "time_dim": 288,

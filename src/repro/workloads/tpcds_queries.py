@@ -9,7 +9,7 @@ at benchmark scale — the ``*`` bars of Figure 13.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

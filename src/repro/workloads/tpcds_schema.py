@@ -18,7 +18,7 @@ from repro.catalog.schema import (
     RangePartition,
     Table,
 )
-from repro.catalog.types import DATE, DECIMAL, FLOAT, INT, TEXT
+from repro.catalog.types import DATE, FLOAT, INT, TEXT
 
 #: Three years of dates: surrogate keys 1..1096.
 DATE_SK_LO = 1

@@ -57,7 +57,6 @@ class JoinAssociativity(Rule):
             ):
                 continue
             g_a, g_b = inner.child_groups
-            cols_a = {c.id for c in memo.group(g_a).output_cols}
             cols_bc = {c.id for c in memo.group(g_b).output_cols}
             cols_bc |= {c.id for c in memo.group(g_c).output_cols}
             all_conjuncts = conjuncts(gexpr.op.condition) + conjuncts(

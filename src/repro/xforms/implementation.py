@@ -35,7 +35,6 @@ from repro.ops.scalar import (
     equi_join_pairs,
     make_conj,
 )
-from repro.props.distribution import ANY_DIST
 from repro.xforms.rule import Rule, RuleContext
 
 

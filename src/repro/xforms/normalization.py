@@ -42,7 +42,6 @@ from repro.ops.scalar import (
     conjuncts,
     make_conj,
 )
-from repro.stats.derivation import StatsDeriver
 from repro.stats.selectivity import apply_predicate
 
 
@@ -521,7 +520,6 @@ def _tree_stats(tree: Expression, table_stats) -> Optional[StatsObject]:
     stats = table_stats(op.table.name)
     if stats is None:
         return None
-    from repro.catalog.statistics import ColumnStats
 
     out = StatsObject(row_count=stats.row_count)
     for i, ref in enumerate(op.columns):

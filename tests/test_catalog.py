@@ -10,7 +10,6 @@ from repro.catalog import (
     Column,
     ColumnSpec,
     Database,
-    DistributionPolicy,
     Index,
     INT,
     PartitionScheme,

@@ -10,7 +10,6 @@ from repro.memo import Memo
 from repro.memo.context import StatsObject
 from repro.ops import Expression
 from repro.ops.logical import (
-    AggStage,
     JoinKind,
     LogicalGbAgg,
     LogicalGet,

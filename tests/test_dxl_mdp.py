@@ -3,13 +3,11 @@
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from pathlib import Path
 
 import pytest
 
-from repro.dxl.parser import parse_logical, parse_metadata, parse_query
+from repro.dxl.parser import parse_metadata, parse_query
 from repro.dxl.serializer import (
-    serialize_logical,
     serialize_metadata,
     serialize_plan,
     serialize_query,

@@ -12,12 +12,11 @@ from repro.engine import Cluster, Executor
 from repro.engine.executor import _merge_join_segment
 from repro.ops.logical import JoinKind
 from repro.ops.physical import PhysicalMergeJoin
-from repro.ops.scalar import ColRef, ColRefExpr, ColumnFactory, Comparison
+from repro.ops.scalar import ColumnFactory
 from repro.optimizer import Orca
-from repro.props.distribution import HashedDist, REPLICATED, SINGLETON
+from repro.props.distribution import HashedDist, SINGLETON
 from repro.props.order import ANY_ORDER, OrderSpec, SortKey
 from repro.props.required import DerivedProps, RequiredProps
-from repro.search.plan import PlanNode
 
 from tests.conftest import make_small_db, rows_equal
 
@@ -76,7 +75,9 @@ class TestMergeAlgorithm:
         a, c = f.next("a", INT), f.next("c", INT)
         op = PhysicalMergeJoin(kind, [a], [c])
         index = {a.id: 0, c.id: 1}
-        env_fn = lambda idx, row: {cid: row[pos] for cid, pos in idx.items()}
+        def env_fn(idx, row):
+            return {cid: row[pos] for cid, pos in idx.items()}
+
         return _merge_join_segment(
             left_rows, right_rows, [0], [0], op, (None,), index, env_fn
         )

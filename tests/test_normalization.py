@@ -6,7 +6,6 @@ import pytest
 
 from repro.config import OptimizerConfig
 from repro.ops.logical import (
-    ApplyKind,
     JoinKind,
     LogicalApply,
     LogicalGbAgg,

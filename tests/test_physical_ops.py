@@ -9,7 +9,6 @@ from __future__ import annotations
 import pytest
 
 from repro.catalog import Column, DistributionPolicy, INT, Table
-from repro.catalog.types import TEXT
 from repro.ops import physical as ph
 from repro.ops.logical import AggStage, JoinKind
 from repro.ops.scalar import AggFunc, ColRefExpr, ColumnFactory, Comparison

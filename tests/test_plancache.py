@@ -1,0 +1,225 @@
+"""Parameterized plan cache (Section 4.2 remarks on optimization cost).
+
+A normalized query fingerprint (literals replaced by parameter markers)
+keys compiled plans by (query shape, optimizer config, catalog version).
+A repeat of the same statement is an exact *hit*; the same shape with
+different literals is a *rebind* — the cached physical plan is deep
+copied and its constants swapped in place, skipping the Memo search
+entirely.  These tests pin down the keying rules, the rebind row-level
+correctness, invalidation on catalog changes, LRU eviction, and the
+conservative fall-back to a miss whenever re-binding would be unsound.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import OptimizerConfig
+from repro.engine import Cluster, Executor
+from repro.optimizer import Orca
+from repro.plancache import PlanCache, fingerprint
+from repro.sql.parser import parse
+from repro.trace import Tracer
+
+from tests.conftest import make_small_db, rows_equal
+
+
+def _cached_orca(db, size=8, tracer=None, **kw):
+    config = OptimizerConfig(
+        segments=8, enable_plan_cache=True, plan_cache_size=size, **kw
+    )
+    return Orca(db, config, tracer=tracer) if tracer else Orca(db, config)
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+
+def test_fingerprint_ignores_literal_values():
+    s1, p1 = fingerprint(parse("SELECT a FROM t1 WHERE b = 5"))
+    s2, p2 = fingerprint(parse("SELECT a FROM t1 WHERE b = 99"))
+    assert s1 == s2
+    assert p1 == (5,) and p2 == (99,)
+
+
+def test_fingerprint_distinguishes_shapes():
+    s1, _ = fingerprint(parse("SELECT a FROM t1 WHERE b = 5"))
+    s2, _ = fingerprint(parse("SELECT a FROM t1 WHERE a = 5"))
+    s3, _ = fingerprint(parse("SELECT a FROM t1 WHERE b > 5"))
+    assert len({s1, s2, s3}) == 3
+
+
+def test_fingerprint_in_list_is_parameterized_by_length():
+    s1, p1 = fingerprint(parse("SELECT a FROM t1 WHERE b IN (1, 2, 3)"))
+    s2, p2 = fingerprint(parse("SELECT a FROM t1 WHERE b IN (7, 8, 9)"))
+    s3, _ = fingerprint(parse("SELECT a FROM t1 WHERE b IN (1, 2)"))
+    assert s1 == s2
+    assert p1 == (1, 2, 3) and p2 == (7, 8, 9)
+    assert s3 != s1  # a different marker count is a different shape
+
+
+def test_fingerprint_literal_type_is_part_of_the_parameter():
+    s1, p1 = fingerprint(parse("SELECT a FROM t1 WHERE b = 5"))
+    s2, p2 = fingerprint(parse("SELECT a FROM t1 WHERE b = 5.0"))
+    assert s1 == s2  # same marker shape ...
+    assert type(p1[0]) is int and type(p2[0]) is float  # ... typed params
+
+
+# ----------------------------------------------------------------------
+# Hit / rebind / miss through the optimizer
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def cache_db():
+    return make_small_db(t1_rows=2000, t2_rows=300)
+
+
+def test_exact_hit_skips_search(cache_db):
+    tracer = Tracer()
+    orca = _cached_orca(cache_db, tracer=tracer)
+    sql = "SELECT a, b FROM t1 WHERE b = 42 ORDER BY a LIMIT 10"
+    first = orca.optimize(sql)
+    second = orca.optimize(sql)
+
+    assert first.plan_cache == "miss"
+    assert second.plan_cache == "hit"
+    # The cached result bypassed the Memo search entirely.
+    assert second.memo is None
+    assert second.jobs_executed == 0
+    assert second.plan.explain() == first.plan.explain()
+    assert orca.plan_cache.stats()["hits"] == 1
+    assert tracer.count("plan_cache_hit") == 1
+    assert tracer.count("plan_cache_miss") == 1
+    assert tracer.count("plan_cache_store") == 1
+
+
+def test_rebind_returns_identical_rows(cache_db):
+    orca = _cached_orca(cache_db)
+    fresh = Orca(cache_db, OptimizerConfig(segments=8))
+    cluster = Cluster(cache_db, segments=8)
+    template = "SELECT a, b FROM t1 WHERE b = {v} ORDER BY a, b LIMIT 50"
+
+    orca.optimize(template.format(v=7))  # warm the cache
+    for v in (123, 7, 456):
+        cached = orca.optimize(template.format(v=v))
+        reference = fresh.optimize(template.format(v=v))
+        out_cached = Executor(cluster).execute(cached.plan, cached.output_cols)
+        out_fresh = Executor(cluster).execute(
+            reference.plan, reference.output_cols
+        )
+        assert rows_equal(out_cached.rows, out_fresh.rows), v
+        assert cached.plan_cache in ("hit", "rebind")
+    assert orca.plan_cache.stats()["rebinds"] >= 2
+
+
+def test_rebind_handles_in_lists_and_multiple_params(cache_db):
+    orca = _cached_orca(cache_db)
+    fresh = Orca(cache_db, OptimizerConfig(segments=8))
+    cluster = Cluster(cache_db, segments=8)
+    template = (
+        "SELECT t1.a, count(*) AS n FROM t1 JOIN t2 ON t1.a = t2.a "
+        "WHERE t1.b IN ({x}, {y}) AND t2.b < {z} "
+        "GROUP BY t1.a ORDER BY t1.a LIMIT 20"
+    )
+    orca.optimize(template.format(x=1, y=2, z=100))
+    cached = orca.optimize(template.format(x=33, y=44, z=250))
+    assert cached.plan_cache == "rebind"
+    reference = fresh.optimize(template.format(x=33, y=44, z=250))
+    out_cached = Executor(cluster).execute(cached.plan, cached.output_cols)
+    out_fresh = Executor(cluster).execute(
+        reference.plan, reference.output_cols
+    )
+    assert rows_equal(out_cached.rows, out_fresh.rows)
+
+
+def test_catalog_change_invalidates(cache_db):
+    orca = _cached_orca(cache_db)
+    sql = "SELECT a FROM t2 WHERE b = 5"
+    assert orca.optimize(sql).plan_cache == "miss"
+    assert orca.optimize(sql).plan_cache == "hit"
+    cache_db.analyze("t2")  # bumps t2's catalog version
+    assert orca.optimize(sql).plan_cache == "miss"
+    assert orca.optimize(sql).plan_cache == "hit"
+
+
+def test_lru_eviction(cache_db):
+    tracer = Tracer()
+    orca = _cached_orca(cache_db, size=2, tracer=tracer)
+    q1 = "SELECT a FROM t1 WHERE b = 1"
+    q2 = "SELECT b FROM t1 WHERE a = 2"
+    q3 = "SELECT a, b FROM t2 WHERE b = 3"
+    orca.optimize(q1)
+    orca.optimize(q2)
+    orca.optimize(q3)  # evicts q1's entry (least recently used)
+    assert orca.plan_cache.stats()["evictions"] == 1
+    assert tracer.count("plan_cache_evict") == 1
+    assert orca.optimize(q1).plan_cache == "miss"
+    assert orca.optimize(q3).plan_cache == "hit"
+
+
+def test_duplicate_literals_are_not_rebindable(cache_db):
+    """Two identical literals may have been merged or constant-folded by
+    normalization, so the mapping old->new is ambiguous: the entry still
+    serves exact repeats but different parameters must re-optimize."""
+    orca = _cached_orca(cache_db)
+    template = "SELECT a FROM t1 WHERE b > {v} AND a > {v}"
+    orca.optimize(template.format(v=5))
+    assert orca.optimize(template.format(v=5)).plan_cache == "hit"
+    assert orca.optimize(template.format(v=9)).plan_cache == "miss"
+
+
+def test_type_changing_parameters_do_not_rebind(cache_db):
+    orca = _cached_orca(cache_db)
+    orca.optimize("SELECT a FROM t1 WHERE b = 5")
+    result = orca.optimize("SELECT a FROM t1 WHERE b = 5.5")
+    assert result.plan_cache == "miss"
+
+
+def test_cache_disabled_by_default(cache_db):
+    orca = Orca(cache_db, OptimizerConfig(segments=8))
+    assert orca.plan_cache is None
+    assert orca.optimize("SELECT a FROM t1 WHERE b = 5").plan_cache == ""
+
+
+def test_plancache_unit_counters():
+    cache = PlanCache(4)
+    stats = cache.stats()
+    assert stats == {
+        "hits": 0, "misses": 0, "evictions": 0, "rebinds": 0,
+        "stores": 0, "entries": 0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Hypothesis property: re-binding is row-identical to re-optimizing
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def prop_env():
+    db = make_small_db(t1_rows=1500, t2_rows=300)
+    return (
+        _cached_orca(db, size=64),
+        Orca(db, OptimizerConfig(segments=8)),
+        Cluster(db, segments=8),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lo=st.integers(min_value=-50, max_value=500),
+    span=st.integers(min_value=0, max_value=400),
+    lim=st.integers(min_value=1, max_value=60),
+)
+def test_property_rebound_plans_return_identical_rows(prop_env, lo, span, lim):
+    cached_orca, fresh_orca, cluster = prop_env
+    sql = (
+        f"SELECT a, b FROM t1 WHERE b BETWEEN {lo} AND {lo + span} "
+        f"ORDER BY a, b LIMIT {lim}"
+    )
+    cached = cached_orca.optimize(sql)
+    fresh = fresh_orca.optimize(sql)
+    out_cached = Executor(cluster).execute(cached.plan, cached.output_cols)
+    out_fresh = Executor(cluster).execute(fresh.plan, fresh.output_cols)
+    assert rows_equal(out_cached.rows, out_fresh.rows), sql

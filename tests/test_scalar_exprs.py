@@ -127,7 +127,7 @@ class TestBoolThreeValuedLogic:
         lits = [Literal(v, BOOL) for v in values]
         lhs = BoolExpr("not", [BoolExpr("and", lits)]).evaluate({})
         rhs = BoolExpr(
-            "or", [BoolExpr("not", [l]) for l in lits]
+            "or", [BoolExpr("not", [lit]) for lit in lits]
         ).evaluate({})
         assert lhs is rhs
 

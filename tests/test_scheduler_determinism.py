@@ -5,6 +5,12 @@ The threaded job scheduler executes steps under a lock (see
 differently than serial runs — but the search must still converge to the
 same fixpoint: identical best plans and identical Memo group / group
 expression counts for a fixed query set.
+
+Every invariant is checked with cost-bound pruning both enabled (the
+default) and disabled: pruning decisions depend only on Memo state that
+is identical across schedules, so the abandoned alternatives — and
+therefore the chosen plan and the Memo — must not vary with the worker
+count either.
 """
 
 from __future__ import annotations
@@ -21,43 +27,55 @@ from tests.test_differential import QueryGenerator
 SMALL_DB_SQL = [QueryGenerator(seed).generate() for seed in range(300, 308)]
 TPCDS_IDS = ["star_brand", "demo_promo"]
 
+PRUNING = pytest.mark.parametrize(
+    "pruning", [True, False], ids=["pruned", "exhaustive"]
+)
+
 
 @pytest.fixture(scope="module")
 def det_db():
     return make_small_db(t1_rows=1200, t2_rows=250)
 
 
-def _optimize(db, sql, workers):
-    config = OptimizerConfig(segments=8, workers=workers)
+def _optimize(db, sql, workers, pruning=True):
+    config = OptimizerConfig(
+        segments=8, workers=workers, enable_cost_bound_pruning=pruning
+    )
     return Orca(db, config).optimize(sql)
 
 
+@PRUNING
 @pytest.mark.parametrize("sql", SMALL_DB_SQL, ids=range(len(SMALL_DB_SQL)))
-def test_serial_vs_threaded_identical(det_db, sql):
-    serial = _optimize(det_db, sql, workers=1)
-    threaded = _optimize(det_db, sql, workers=4)
+def test_serial_vs_threaded_identical(det_db, sql, pruning):
+    serial = _optimize(det_db, sql, workers=1, pruning=pruning)
+    threaded = _optimize(det_db, sql, workers=4, pruning=pruning)
     assert serial.explain() == threaded.explain(), sql
     assert serial.num_groups == threaded.num_groups, sql
     assert serial.num_gexprs == threaded.num_gexprs, sql
     assert serial.plan.cost == pytest.approx(threaded.plan.cost), sql
+    assert serial.pruned_alternatives == threaded.pruned_alternatives, sql
 
 
+@PRUNING
 @pytest.mark.parametrize("query_id", TPCDS_IDS)
-def test_serial_vs_threaded_identical_tpcds(tpcds_db, query_id):
+def test_serial_vs_threaded_identical_tpcds(tpcds_db, query_id, pruning):
     query = queries_by_id()[query_id]
-    serial = _optimize(tpcds_db, query.sql, workers=1)
-    threaded = _optimize(tpcds_db, query.sql, workers=4)
+    serial = _optimize(tpcds_db, query.sql, workers=1, pruning=pruning)
+    threaded = _optimize(tpcds_db, query.sql, workers=4, pruning=pruning)
     assert serial.explain() == threaded.explain(), query_id
     assert serial.num_groups == threaded.num_groups, query_id
     assert serial.num_gexprs == threaded.num_gexprs, query_id
+    assert serial.pruned_alternatives == threaded.pruned_alternatives, query_id
 
 
-def test_threaded_runs_are_self_consistent(det_db):
+@PRUNING
+def test_threaded_runs_are_self_consistent(det_db, pruning):
     """Two independent threaded runs of the same query agree with each
     other (not just with the serial run)."""
     sql = SMALL_DB_SQL[0]
-    r1 = _optimize(det_db, sql, workers=4)
-    r2 = _optimize(det_db, sql, workers=4)
+    r1 = _optimize(det_db, sql, workers=4, pruning=pruning)
+    r2 = _optimize(det_db, sql, workers=4, pruning=pruning)
     assert r1.explain() == r2.explain()
     assert r1.num_groups == r2.num_groups
     assert r1.num_gexprs == r2.num_gexprs
+    assert r1.pruned_alternatives == r2.pruned_alternatives

@@ -18,7 +18,7 @@ from repro.ops.physical import (
     PhysicalTableScan,
 )
 from repro.ops.scalar import ColRefExpr, ColumnFactory, Comparison
-from repro.props.distribution import ANY_DIST, SINGLETON, HashedDist
+from repro.props.distribution import SINGLETON
 from repro.props.order import OrderSpec, SortKey
 from repro.props.required import RequiredProps
 from repro.search.engine import SearchEngine

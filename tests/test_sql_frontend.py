@@ -25,10 +25,8 @@ from repro.ops.logical import (
 from repro.sql import parse
 from repro.sql.ast import (
     EBinary,
-    EColumn,
     EExists,
     EIn,
-    ELiteral,
     EScalarSubquery,
     EWindow,
     JoinItem,

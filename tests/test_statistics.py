@@ -9,12 +9,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.catalog.statistics import (
-    Bucket,
-    ColumnStats,
-    Histogram,
-    axis_value,
-)
+from repro.catalog.statistics import ColumnStats, Histogram, axis_value
 
 
 class TestAxisValue:

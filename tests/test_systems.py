@@ -4,14 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.systems import (
-    ALL_PROFILES,
-    HAWQ,
-    IMPALA_LIKE,
-    PRESTO_LIKE,
-    SimulatedEngine,
-    STINGER_LIKE,
-)
+from repro.systems import ALL_PROFILES, HAWQ, SimulatedEngine
 from repro.workloads import QUERIES, queries_by_id
 
 
