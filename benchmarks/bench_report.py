@@ -48,17 +48,15 @@ def run_workload(scale: float, segments: int) -> dict:
     """Collect every metric over the full workload."""
     db = build_populated_db(scale=scale)
 
-    pruned = Orca(db, OptimizerConfig(segments=segments))
+    pruned = Orca(db, config=OptimizerConfig(segments=segments))
     rows = [pruned.optimize(q.sql) for q in QUERIES]
 
-    exhaustive = Orca(
-        db, OptimizerConfig(segments=segments, enable_cost_bound_pruning=False)
+    exhaustive = Orca(db, config=OptimizerConfig(segments=segments, enable_cost_bound_pruning=False)
     )
     base_rows = [exhaustive.optimize(q.sql) for q in QUERIES]
 
     # Plan-cache hit rate: the workload repeated once against a warm cache.
-    cached = Orca(
-        db, OptimizerConfig(
+    cached = Orca(db, config=OptimizerConfig(
             segments=segments, enable_plan_cache=True,
             plan_cache_size=len(QUERIES) + 1,
         )

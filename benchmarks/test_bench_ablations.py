@@ -44,10 +44,10 @@ ABLATIONS = [
 @pytest.fixture(scope="module")
 def ablation_results(hadoop_db):
     by_id = queries_by_id()
-    baseline = Orca(hadoop_db, OptimizerConfig(segments=8))
+    baseline = Orca(hadoop_db, config=OptimizerConfig(segments=8))
     rows = []
     for feature, kwargs, qids in ABLATIONS:
-        ablated = Orca(hadoop_db, OptimizerConfig(segments=8, **kwargs))
+        ablated = Orca(hadoop_db, config=OptimizerConfig(segments=8, **kwargs))
         for qid in qids:
             sql = by_id[qid].sql
             t_on, _ = timed_execution(
@@ -77,7 +77,7 @@ def test_ablation_table(ablation_results, benchmark, hadoop_db):
             f"{row['feature']:24s} {row['query']:26s} {row['on_s']:9.4f} "
             f"{row['off_s']:9.4f} {row['slowdown']:9.2f}x"
         )
-    orca = Orca(hadoop_db, OptimizerConfig(segments=8))
+    orca = Orca(hadoop_db, config=OptimizerConfig(segments=8))
     benchmark(
         lambda: orca.optimize(queries_by_id()["dpe_quarter"].sql)
     )
@@ -106,13 +106,11 @@ def test_ablations_preserve_correctness(hadoop_db, benchmark):
     by_id = queries_by_id()
     sql = by_id["avg_price_corr_subquery"].sql
     cluster = Cluster(hadoop_db, segments=8)
-    base = Orca(hadoop_db, OptimizerConfig(segments=8)).optimize(sql)
+    base = Orca(hadoop_db, config=OptimizerConfig(segments=8)).optimize(sql)
     base_rows = Executor(cluster).execute(base.plan, base.output_cols).rows
 
     def ablated_rows():
-        result = Orca(
-            hadoop_db,
-            OptimizerConfig(segments=8, enable_decorrelation=False),
+        result = Orca(hadoop_db, config=OptimizerConfig(segments=8, enable_decorrelation=False),
         ).optimize(sql)
         return Executor(cluster).execute(result.plan, result.output_cols).rows
 

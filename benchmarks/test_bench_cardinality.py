@@ -22,7 +22,7 @@ from repro.workloads import QUERIES
 
 @pytest.fixture(scope="module")
 def card_reports(hadoop_db):
-    orca = Orca(hadoop_db, OptimizerConfig(segments=8))
+    orca = Orca(hadoop_db, config=OptimizerConfig(segments=8))
     cluster = Cluster(hadoop_db, segments=8)
     reports = []
     for query in QUERIES:
@@ -51,7 +51,7 @@ def test_cardinality_quality_table(card_reports, benchmark, hadoop_db):
     overall = statistics.median(medians)
     print(f"\nsuite median of per-query median q-errors: {overall:.2f}")
 
-    orca = Orca(hadoop_db, OptimizerConfig(segments=8))
+    orca = Orca(hadoop_db, config=OptimizerConfig(segments=8))
     benchmark(lambda: orca.optimize(QUERIES[0].sql))
 
     assert overall < 2.5

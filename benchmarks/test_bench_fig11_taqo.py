@@ -36,7 +36,7 @@ TAQO_QUERIES = [
 
 @pytest.fixture(scope="module")
 def taqo_reports(hadoop_db):
-    orca = Orca(hadoop_db, OptimizerConfig(segments=8))
+    orca = Orca(hadoop_db, config=OptimizerConfig(segments=8))
     cluster = Cluster(hadoop_db, segments=8)
     reports = {}
     for name, sql in TAQO_QUERIES:
@@ -67,7 +67,7 @@ def test_fig11_plan_space_scatter(taqo_reports, benchmark, hadoop_db):
                 f"  est={sample.estimated_cost:12.1f}  "
                 f"actual={sample.actual_seconds:9.5f}s"
             )
-    orca = Orca(hadoop_db, OptimizerConfig(segments=8))
+    orca = Orca(hadoop_db, config=OptimizerConfig(segments=8))
     benchmark(lambda: orca.optimize(TAQO_QUERIES[0][1]))
 
     scores = [r.correlation for r in taqo_reports.values()]

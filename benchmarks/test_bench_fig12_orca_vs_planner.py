@@ -25,7 +25,7 @@ from benchmarks.conftest import SPEEDUP_CAP, TIMEOUT_SIM_SECONDS, timed_executio
 def figure12(mpp_db):
     """Optimize + execute the whole suite under both optimizers once."""
     config = OptimizerConfig(segments=16)
-    orca = Orca(mpp_db, config)
+    orca = Orca(mpp_db, config=config)
     planner = LegacyPlanner(mpp_db, config)
     rows = []
     for query in QUERIES:
@@ -70,7 +70,7 @@ def test_fig12_speedup_table(figure12, benchmark, mpp_db):
     print(f"queries capped at 1000x by the timeout: {capped} "
           f"(paper: 14 of 111)")
 
-    orca = Orca(mpp_db, OptimizerConfig(segments=16))
+    orca = Orca(mpp_db, config=OptimizerConfig(segments=16))
     benchmark(lambda: orca.optimize(QUERIES[0].sql))
 
     # --- shape assertions (the reproduction contract) ---

@@ -48,7 +48,7 @@ def chain_sql(n: int) -> str:
 
 @pytest.fixture(scope="module")
 def growth(chain_db):
-    orca = Orca(chain_db, OptimizerConfig(segments=8))
+    orca = Orca(chain_db, config=OptimizerConfig(segments=8))
     rows = []
     for n in CHAIN_LENGTHS:
         result = orca.optimize(chain_sql(n))
@@ -74,7 +74,7 @@ def test_memo_growth_table(growth, benchmark, chain_db):
             f"{row['n'] - 1:6d} {row['groups']:7d} {row['gexprs']:7d} "
             f"{row['plans']:14.0f} {row['jobs']:8d}"
         )
-    orca = Orca(chain_db, OptimizerConfig(segments=8))
+    orca = Orca(chain_db, config=OptimizerConfig(segments=8))
     benchmark(lambda: orca.optimize(chain_sql(4)))
 
     # plan space grows much faster than the memo encoding it
@@ -126,7 +126,7 @@ def test_duplicate_detection_keeps_memo_small(chain_db, benchmark):
     """Join commutativity + associativity generate overlapping shapes;
     duplicate detection must fold them (gexprs far below the number of
     rule applications)."""
-    orca = Orca(chain_db, OptimizerConfig(segments=8))
+    orca = Orca(chain_db, config=OptimizerConfig(segments=8))
     result = benchmark.pedantic(
         lambda: orca.optimize(chain_sql(5)), rounds=1, iterations=1
     )

@@ -21,7 +21,7 @@ from repro.workloads import QUERIES
 
 @pytest.fixture(scope="module")
 def measurements(hadoop_db):
-    orca = Orca(hadoop_db, OptimizerConfig(segments=8))
+    orca = Orca(hadoop_db, config=OptimizerConfig(segments=8))
     rows = []
     for query in QUERIES:
         result = orca.optimize(query.sql)
@@ -44,9 +44,7 @@ def measurements(hadoop_db):
 @pytest.fixture(scope="module")
 def exhaustive_measurements(hadoop_db):
     """The same workload with branch-and-bound pruning disabled."""
-    orca = Orca(
-        hadoop_db,
-        OptimizerConfig(segments=8, enable_cost_bound_pruning=False),
+    orca = Orca(hadoop_db, config=OptimizerConfig(segments=8, enable_cost_bound_pruning=False),
     )
     rows = []
     for query in QUERIES:
@@ -76,7 +74,7 @@ def test_opt_time_and_memory(measurements, benchmark, hadoop_db):
     print(f"average memory footprint:  {avg_mem:.2f} MB "
           "(paper: ~200 MB)")
 
-    orca = Orca(hadoop_db, OptimizerConfig(segments=8))
+    orca = Orca(hadoop_db, config=OptimizerConfig(segments=8))
     benchmark(lambda: orca.optimize(QUERIES[0].sql))
 
     assert avg_time < 10.0

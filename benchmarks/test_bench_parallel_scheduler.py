@@ -32,9 +32,7 @@ def job_logs(hadoop_db):
     # scalability claim is about the exhaustive search DAG, so record it
     # with pruning off; the total-work win is measured separately in
     # test_bench_opt_time_memory.py.
-    orca = Orca(
-        hadoop_db,
-        OptimizerConfig(segments=8, enable_cost_bound_pruning=False),
+    orca = Orca(hadoop_db, config=OptimizerConfig(segments=8, enable_cost_bound_pruning=False),
     )
     by_id = queries_by_id()
     logs = {}
@@ -74,8 +72,8 @@ def test_threaded_scheduler_correctness_at_scale(hadoop_db, benchmark):
     """The thread-pool scheduler (lock-serialized under the GIL) must
     produce the same plan and cost as the serial one on a real query."""
     sql = queries_by_id()["multi_fact_join"].sql
-    serial = Orca(hadoop_db, OptimizerConfig(segments=8, workers=1))
-    threaded = Orca(hadoop_db, OptimizerConfig(segments=8, workers=8))
+    serial = Orca(hadoop_db, config=OptimizerConfig(segments=8, workers=1))
+    threaded = Orca(hadoop_db, config=OptimizerConfig(segments=8, workers=8))
     p1 = serial.optimize(sql).plan
     p2 = benchmark.pedantic(
         lambda: threaded.optimize(sql).plan, rounds=1, iterations=1

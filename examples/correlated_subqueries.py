@@ -32,7 +32,7 @@ def main() -> None:
 
     print("query: items priced 20% above their category average\n")
 
-    orca_result = Orca(db, config).optimize(SQL)
+    orca_result = Orca(db, config=config).optimize(SQL)
     print("=== Orca: decorrelated into a group-by + join ===")
     print(orca_result.explain())
 

@@ -34,7 +34,7 @@ def main() -> None:
 
     print("query: year-over-year store sales via a twice-referenced CTE\n")
 
-    orca_result = Orca(db, config).optimize(SQL)
+    orca_result = Orca(db, config=config).optimize(SQL)
     print("=== Orca: CTEProducer evaluated once, two CTEConsumers ===")
     print(orca_result.explain())
 

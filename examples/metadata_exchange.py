@@ -45,7 +45,7 @@ def main() -> None:
     # 2. Optimize against the file — the backend is 'offline'.
     cache = MDCache()
     accessor = MDAccessor(cache, FileProvider(metadata_path))
-    offline_orca = Orca(accessor, OptimizerConfig(segments=8))
+    offline_orca = Orca(accessor, config=OptimizerConfig(segments=8))
     offline_result = offline_orca.optimize(SQL)
     print(f"\noptimized offline via file provider; relations accessed: "
           f"{accessor.accessed}")
@@ -53,7 +53,7 @@ def main() -> None:
     print(offline_result.explain())
 
     # 3. AMPERe: capture a minimal repro and replay it.
-    live_orca = Orca(db, OptimizerConfig(segments=8))
+    live_orca = Orca(db, config=OptimizerConfig(segments=8))
     live_result = live_orca.optimize(SQL)
     dump = capture_dump(
         db, SQL, OptimizerConfig(segments=8), expected_plan=live_result.plan

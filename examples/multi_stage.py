@@ -54,7 +54,7 @@ def main() -> None:
 
     full = report(
         "1. single full stage",
-        Orca(db, OptimizerConfig(segments=8)).optimize(SQL),
+        Orca(db, config=OptimizerConfig(segments=8)).optimize(SQL),
     )
 
     staged_config = OptimizerConfig(segments=8).with_stages([
@@ -64,7 +64,7 @@ def main() -> None:
     ])
     report(
         "2. cheap stage + threshold, then full",
-        Orca(db, staged_config).optimize(SQL),
+        Orca(db, config=staged_config).optimize(SQL),
     )
 
     generous_threshold = OptimizerConfig(segments=8).with_stages([
@@ -74,7 +74,7 @@ def main() -> None:
     ])
     report(
         "3. cheap stage, threshold met -> stop early",
-        Orca(db, generous_threshold).optimize(SQL),
+        Orca(db, config=generous_threshold).optimize(SQL),
     )
 
     starved = OptimizerConfig(segments=8).with_stages([
@@ -82,7 +82,7 @@ def main() -> None:
     ])
     report(
         "4. starved stage (safety stage kicks in)",
-        Orca(db, starved).optimize(SQL),
+        Orca(db, config=starved).optimize(SQL),
     )
 
     print("\nStage budgets trade plan quality for optimization effort; a")

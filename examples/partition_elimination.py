@@ -53,7 +53,7 @@ def main() -> None:
     total_parts = db.table("store_sales").num_partitions()
     print(f"store_sales has {total_parts} quarterly range partitions\n")
 
-    orca = Orca(db, OptimizerConfig(segments=8))
+    orca = Orca(db, config=OptimizerConfig(segments=8))
     planner = LegacyPlanner(db, OptimizerConfig(segments=8))
 
     print("--- static elimination: literal range on the partition key ---")

@@ -38,7 +38,7 @@ def build_database() -> Database:
 
 def main() -> None:
     db = build_database()
-    orca = Orca(db, OptimizerConfig(segments=16))
+    orca = Orca(db, config=OptimizerConfig(segments=16))
 
     sql = "SELECT T1.a FROM T1, T2 WHERE T1.a = T2.b ORDER BY T1.a"
     print(f"query: {sql}\n")

@@ -28,7 +28,7 @@ LIMIT 10
 
 def main() -> None:
     db = build_populated_db(scale=0.15)
-    orca = Orca(db, OptimizerConfig(segments=8))
+    orca = Orca(db, config=OptimizerConfig(segments=8))
     result = orca.optimize(SQL)
 
     req = RequiredProps(

@@ -7,46 +7,100 @@ cluster and executor, the legacy Planner baseline, SQL-on-Hadoop engine
 profiles, a TPC-DS-style workload, the DXL exchange format, the metadata
 provider framework, and the AMPERe / TAQO verifiability tooling.
 
-Quickstart::
+Quickstart (the stable session API)::
 
-    from repro import Orca, OptimizerConfig, Cluster, Executor
+    import repro
     from repro.workloads import build_populated_db
 
     db = build_populated_db(scale=0.1)
-    orca = Orca(db, OptimizerConfig(segments=8))
-    result = orca.optimize("SELECT d.d_year, sum(ss.ss_sales_price) AS s "
-                           "FROM store_sales ss, date_dim d "
-                           "WHERE ss.ss_sold_date_sk = d.d_date_sk "
-                           "GROUP BY d.d_year ORDER BY d.d_year")
-    print(result.explain())
-    rows = Executor(Cluster(db, segments=8)).execute(
-        result.plan, result.output_cols).rows
+    session = repro.connect(db, segments=8, search_deadline_ms=500)
+    result = session.optimize(
+        "SELECT d.d_year, sum(ss.ss_sales_price) AS s "
+        "FROM store_sales ss, date_dim d "
+        "WHERE ss.ss_sold_date_sk = d.d_date_sk "
+        "GROUP BY d.d_year ORDER BY d.d_year")
+    print(result.plan_source)        # "orca" — or a governed degradation
+    rows = session.execute("SELECT count(*) FROM date_dim").rows
+
+The raw optimizer stays available for ungoverned use::
+
+    from repro import Orca, OptimizerConfig
+    orca = Orca(db, config=OptimizerConfig(segments=8))
 """
 
 from repro.config import OptimizationStage, OptimizerConfig
 from repro.catalog.database import Database
 from repro.engine.cluster import Cluster
 from repro.engine.executor import ExecutionResult, Executor
-from repro.errors import ReproError
-from repro.optimizer import OptimizationResult, Orca
+from repro.errors import (
+    AdmissionError,
+    FallbackError,
+    InjectedFault,
+    MemoryQuotaExceeded,
+    NoPlanError,
+    OptimizerError,
+    ParseError,
+    ReproError,
+    SearchTimeout,
+    TranslationError,
+)
+from repro.gpos.governor import ResourceGovernor
+from repro.optimizer import (
+    OptimizationResult,
+    Orca,
+    PLAN_SOURCES,
+    SearchStats,
+)
 from repro.planner import LegacyPlanner
 from repro.search.plan import PlanNode
+from repro.service import (
+    FaultInjector,
+    FaultSpec,
+    Session,
+    SessionMetrics,
+    SessionPool,
+    connect,
+)
 from repro.trace import NullTracer, TraceEvent, Tracer
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    # Session facade (stable public API)
+    "connect",
+    "Session",
+    "SessionMetrics",
+    "SessionPool",
+    # Core optimizer
     "Orca",
     "OptimizationResult",
+    "SearchStats",
+    "PLAN_SOURCES",
     "OptimizerConfig",
     "OptimizationStage",
     "LegacyPlanner",
+    "ResourceGovernor",
+    # Substrates
     "Database",
     "Cluster",
     "Executor",
     "ExecutionResult",
     "PlanNode",
+    # Errors
     "ReproError",
+    "OptimizerError",
+    "ParseError",
+    "TranslationError",
+    "NoPlanError",
+    "SearchTimeout",
+    "MemoryQuotaExceeded",
+    "FallbackError",
+    "InjectedFault",
+    "AdmissionError",
+    # Fault injection
+    "FaultInjector",
+    "FaultSpec",
+    # Tracing
     "Tracer",
     "NullTracer",
     "TraceEvent",

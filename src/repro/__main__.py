@@ -20,10 +20,35 @@ import sys
 from repro.config import OptimizerConfig
 from repro.engine.cluster import Cluster
 from repro.engine.executor import Executor
-from repro.errors import ReproError
+from repro.errors import (
+    FallbackError,
+    MemoryQuotaExceeded,
+    ParseError,
+    ReproError,
+    SearchTimeout,
+    TranslationError,
+)
 from repro.optimizer import Orca
 from repro.planner import LegacyPlanner
+from repro.service import connect
 from repro.workloads import build_populated_db
+
+#: Distinct exit codes per error family (first isinstance match wins;
+#: any other ReproError exits 2).  Documented in README "CLI" section.
+EXIT_CODES: tuple[tuple[type, int], ...] = (
+    (ParseError, 3),
+    (TranslationError, 4),
+    (SearchTimeout, 5),
+    (MemoryQuotaExceeded, 6),
+    (FallbackError, 7),
+)
+
+
+def exit_code_for(exc: ReproError) -> int:
+    for klass, code in EXIT_CODES:
+        if isinstance(exc, klass):
+            return code
+    return 2
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -68,6 +93,28 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="print plan-cache hit/miss/eviction counters (implies "
              "--plan-cache)",
     )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-query wall-clock search deadline; on expiry the best "
+             "plan so far is used, else the session falls back to the "
+             "legacy Planner",
+    )
+    parser.add_argument(
+        "--job-limit", type=int, default=None, metavar="N",
+        help="deterministic per-query deadline: max job steps across "
+             "all search stages",
+    )
+    parser.add_argument(
+        "--memory-quota-mb", type=float, default=None, metavar="MB",
+        help="per-query optimizer memory quota; crossing it falls back "
+             "to the legacy Planner",
+    )
+    parser.add_argument(
+        "--no-fallback", action="store_true",
+        help="surface raw optimizer errors (timeout, quota, internal) "
+             "with distinct exit codes instead of falling back to the "
+             "legacy Planner",
+    )
 
 
 def _config(args) -> OptimizerConfig:
@@ -84,6 +131,12 @@ def _config(args) -> OptimizerConfig:
         args, "plan_cache_stats", False
     ):
         kwargs["enable_plan_cache"] = True
+    if getattr(args, "deadline_ms", None) is not None:
+        kwargs["search_deadline_ms"] = args.deadline_ms
+    if getattr(args, "job_limit", None) is not None:
+        kwargs["search_job_limit"] = args.job_limit
+    if getattr(args, "memory_quota_mb", None) is not None:
+        kwargs["memory_quota_bytes"] = int(args.memory_quota_mb * 1024 * 1024)
     rules = []
     for name in args.disable:
         if name in feature_flags:
@@ -136,16 +189,34 @@ def _optimize(args, db, sql, tracer=None):
         result = LegacyPlanner(db, config).optimize(sql)
         _emit_cache_stats(args, None)
         return result
-    orca = Orca(db, config, tracer=tracer)
-    result = orca.optimize(sql)
-    _emit_cache_stats(args, orca)
+    session = connect(
+        db, config=config, tracer=tracer,
+        fallback=not getattr(args, "no_fallback", False),
+    )
+    result = session.optimize(sql)
+    _emit_cache_stats(args, session.orca)
     return result
+
+
+def _plan_source_note(result) -> str:
+    """A one-line provenance banner for degraded / cached plans."""
+    source = getattr(result, "plan_source", None)
+    if source in (None, "orca"):
+        return ""
+    note = f"-- plan source: {source}"
+    reason = getattr(result, "fallback_reason", None)
+    if reason:
+        note += f" (after {reason})"
+    return note
 
 
 def cmd_explain(args) -> int:
     db = build_populated_db(scale=args.scale, seed=args.seed)
     tracer = _tracer(args)
     result = _optimize(args, db, args.sql, tracer)
+    note = _plan_source_note(result)
+    if note:
+        print(note)
     print(result.explain())
     _emit_trace(args, tracer)
     return 0
@@ -154,7 +225,7 @@ def cmd_explain(args) -> int:
 def cmd_memo(args) -> int:
     db = build_populated_db(scale=args.scale, seed=args.seed)
     tracer = _tracer(args)
-    orca = Orca(db, _config(args), tracer=tracer)
+    orca = Orca(db, config=_config(args), tracer=tracer)
     result = orca.optimize(args.sql)
     if result.memo is None:
         print("(plan served from the plan cache; no Memo was built)")
@@ -187,6 +258,9 @@ def cmd_run(args) -> int:
         print(f"... ({len(out.rows)} rows total)")
     print(f"\n{len(out.rows)} rows in {out.simulated_seconds():.4f} "
           "simulated seconds")
+    note = _plan_source_note(result)
+    if note:
+        print(note)
     _emit_trace(args, tracer)
     return 0
 
@@ -208,7 +282,7 @@ def cmd_capture(args) -> int:
     db = build_populated_db(scale=args.scale, seed=args.seed)
     config = _config(args)
     tracer = _tracer(args)
-    result = Orca(db, config, tracer=tracer).optimize(args.sql)
+    result = Orca(db, config=config, tracer=tracer).optimize(args.sql)
     dump = capture_dump(
         db, args.sql, config, expected_plan=result.plan, trace=result.trace
     )
@@ -297,7 +371,7 @@ def main(argv=None) -> int:
         return args.fn(args)
     except ReproError as exc:
         print(f"error [{exc.code}]: {exc}", file=sys.stderr)
-        return 2
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

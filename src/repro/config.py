@@ -33,9 +33,14 @@ class OptimizationStage:
     timeout_jobs: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class OptimizerConfig:
-    """Immutable configuration for one optimization session."""
+    """Immutable configuration for one optimization session.
+
+    Keyword-only: ``OptimizerConfig(segments=8)`` — positional
+    construction was removed in the session-API redesign so fields can be
+    added and reordered without silently changing call sites.
+    """
 
     #: Number of segment instances in the simulated cluster (Section 2.1).
     segments: int = 16
@@ -72,6 +77,29 @@ class OptimizerConfig:
     trace_flags: frozenset[str] = frozenset()
     #: Random seed for anything stochastic (plan sampling, data generation).
     seed: int = 42
+    #: Per-query wall-clock deadline for the search, in milliseconds.  The
+    #: resource governor checks it cooperatively on every job step and
+    #: raises :class:`repro.errors.SearchTimeout`; ``None`` disables it.
+    search_deadline_ms: Optional[float] = None
+    #: Deterministic per-query deadline: total job *steps* across all
+    #: stages (unlike a stage's ``timeout_jobs``, exhaustion raises
+    #: :class:`SearchTimeout` instead of silently abandoning work).
+    search_job_limit: Optional[int] = None
+    #: Per-query byte quota on tracked optimizer memory (the GPOS memory
+    #: pool, Section 4.2); crossing it raises
+    #: :class:`repro.errors.MemoryQuotaExceeded`.  ``None`` disables it.
+    memory_quota_bytes: Optional[int] = None
+    #: Probe the memory footprint every N job steps (the probe walks the
+    #: Memo, so checking on every step would dominate search time).
+    memory_check_stride: int = 64
+
+    def governed(self) -> bool:
+        """True when any per-query resource limit is configured."""
+        return (
+            self.search_deadline_ms is not None
+            or self.search_job_limit is not None
+            or self.memory_quota_bytes is not None
+        )
 
     def with_disabled(self, *rule_names: str) -> "OptimizerConfig":
         """Return a copy with additional rules disabled (for ablations)."""

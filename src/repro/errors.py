@@ -47,18 +47,6 @@ class DXLError(ReproError):
     code = "DXL"
 
 
-class SQLError(ReproError):
-    """Lexer/parser failure on SQL input."""
-
-    code = "SQL"
-
-
-class BindError(SQLError):
-    """Name resolution failure (unknown column, ambiguous reference, ...)."""
-
-    code = "BIND"
-
-
 class UnsupportedError(ReproError):
     """A query uses a feature the target engine profile does not support.
 
@@ -77,15 +65,146 @@ class UnsupportedError(ReproError):
 
 
 class OptimizerError(ReproError):
-    """Internal invariant violation inside the search engine."""
+    """Any failure raised inside an optimization session.
+
+    The umbrella for everything that can go wrong between receiving a SQL
+    string and handing back a physical plan: frontend failures
+    (:class:`ParseError`, :class:`TranslationError`), search failures
+    (:class:`NoPlanError`), resource-governor aborts
+    (:class:`SearchTimeout`, :class:`MemoryQuotaExceeded`), injected
+    faults (:class:`InjectedFault`) and fallback failures
+    (:class:`FallbackError`).  A session layer that wants "give me a plan
+    or tell me why" catches exactly this type.
+    """
 
     code = "OPTIMIZER"
+
+
+class ParseError(OptimizerError):
+    """The SQL frontend could not produce a statement.
+
+    :class:`SQLError` (and its :class:`BindError` subclass) remain the
+    concrete types raised by the lexer/parser; they now sit under
+    ``ParseError`` so the whole frontend family can be caught at once.
+    """
+
+    code = "PARSE"
+
+
+class SQLError(ParseError):
+    """Lexer/parser failure on SQL input."""
+
+    code = "SQL"
+
+
+class BindError(SQLError):
+    """Name resolution failure (unknown column, ambiguous reference, ...)."""
+
+    code = "BIND"
+
+
+class TranslationError(OptimizerError):
+    """Statement-to-logical-expression translation failed."""
+
+    code = "TRANSLATE"
 
 
 class NoPlanError(OptimizerError):
     """The search space contains no plan satisfying the required properties."""
 
     code = "NOPLAN"
+
+
+class SearchTimeout(OptimizerError):
+    """A resource governor aborted the search on a deadline.
+
+    Raised cooperatively from inside :meth:`JobScheduler.run` when the
+    session's wall-clock deadline or job-step limit is exhausted (the
+    optimization timeouts GPOS enforces inside a host DBMS, Section 4.2).
+    """
+
+    code = "SEARCH_TIMEOUT"
+
+    def __init__(
+        self,
+        message: str = "search deadline exceeded",
+        *,
+        elapsed_seconds: float = 0.0,
+        deadline_seconds: float | None = None,
+        steps: int = 0,
+        job_limit: int | None = None,
+    ):
+        super().__init__(message)
+        self.elapsed_seconds = elapsed_seconds
+        self.deadline_seconds = deadline_seconds
+        self.steps = steps
+        self.job_limit = job_limit
+
+
+class MemoryQuotaExceeded(OptimizerError):
+    """A resource governor aborted the search on its memory quota.
+
+    The analogue of a GPOS memory-pool exhaustion (Section 4.2): the
+    optimizer's tracked allocations crossed the per-session byte quota.
+    """
+
+    code = "MEM_QUOTA"
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        used_bytes: int = 0,
+        quota_bytes: int = 0,
+    ):
+        super().__init__(
+            message
+            or f"optimizer memory {used_bytes} bytes exceeds the "
+               f"{quota_bytes}-byte session quota"
+        )
+        self.used_bytes = used_bytes
+        self.quota_bytes = quota_bytes
+
+
+class InjectedFault(OptimizerError):
+    """A fault deliberately injected by :mod:`repro.service.faults`.
+
+    ``transient`` hints whether a retry could succeed (the injector's
+    schedule stops firing after a configured number of hits).
+    """
+
+    code = "FAULT"
+
+    def __init__(self, site: str, hit: int, transient: bool = True):
+        super().__init__(f"injected fault at site '{site}' (hit #{hit})")
+        self.site = site
+        self.hit = hit
+        self.transient = transient
+
+
+class FallbackError(OptimizerError):
+    """Both the optimizer and the Planner safety net failed.
+
+    Chains the original optimizer error (``original``) and the fallback
+    failure (``__cause__``); this is the only way a governed session
+    surfaces an error when fallback is enabled.
+    """
+
+    code = "FALLBACK"
+
+    def __init__(self, original: Exception, fallback_exc: Exception):
+        super().__init__(
+            f"planner fallback failed ({fallback_exc}) after optimizer "
+            f"error ({original})"
+        )
+        self.original = original
+        self.fallback_exc = fallback_exc
+
+
+class AdmissionError(OptimizerError):
+    """The session pool refused admission (all sessions busy)."""
+
+    code = "ADMISSION"
 
 
 class OutOfMemoryError(ReproError):

@@ -76,7 +76,7 @@ class JobBudgetExceeded(Exception):
 class JobScheduler:
     """Executes a job graph with suspend/resume and per-goal deduplication."""
 
-    def __init__(self, workers: int = 1, tracer=None):
+    def __init__(self, workers: int = 1, tracer=None, governor=None):
         self.workers = max(workers, 1)
         self._jobs_by_goal: dict[Hashable, Job] = {}
         self._queue: deque[Job] = deque()
@@ -88,6 +88,9 @@ class JobScheduler:
         self._next_job_id = 0
         self.kind_counts: dict[str, int] = {}
         self.tracer = tracer or NULL_TRACER
+        #: Cooperative resource governor (repro.gpos.governor); checked
+        #: once per job step, may raise SearchTimeout/MemoryQuotaExceeded.
+        self.governor = governor
 
     # ------------------------------------------------------------------
     def reset_goals(self) -> None:
@@ -113,6 +116,8 @@ class JobScheduler:
             if job_budget is not None and self.steps_executed >= job_budget:
                 self._queue.clear()
                 return
+            if self.governor is not None:
+                self.governor.on_job_step()
             job = self._queue.popleft()
             self._execute_step(job)
 
@@ -123,14 +128,23 @@ class JobScheduler:
         runs under the scheduler lock — correctness-preserving under the
         GIL; see module docstring for how scalability is measured instead.
         """
+        governor_error: list[BaseException] = []
+
         def worker() -> None:
             while True:
                 with self._lock:
-                    if not self._queue:
+                    if not self._queue or governor_error:
                         return
                     if job_budget is not None and self.steps_executed >= job_budget:
                         self._queue.clear()
                         return
+                    if self.governor is not None:
+                        try:
+                            self.governor.on_job_step()
+                        except Exception as exc:
+                            governor_error.append(exc)
+                            self._queue.clear()
+                            return
                     job = self._queue.popleft()
                     self._execute_step(job)
 
@@ -141,8 +155,12 @@ class JobScheduler:
             t.start()
         for t in threads:
             t.join()
+        if governor_error:
+            raise governor_error[0]
         # Drain anything re-enqueued after the last worker checked.
         while self._queue:
+            if self.governor is not None:
+                self.governor.on_job_step()
             job = self._queue.popleft()
             self._execute_step(job)
 

@@ -6,6 +6,12 @@ statistics derivation / implementation / optimization (via the job
 scheduler) -> plan extraction.  Shared CTE producers are optimized first,
 in their own Memos, and attached during extraction (Section 7.2.2,
 Common Expressions).
+
+Sessions built on top of this facade (``repro.connect``) add resource
+governance and Planner fallback; ``Orca`` itself enforces any limits set
+on its :class:`OptimizerConfig` (raising the typed governor errors) but
+never falls back — that separation keeps the core optimizer deterministic
+and the degradation policy in one place (:mod:`repro.service.session`).
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from typing import Optional, Union
 from repro.catalog.database import Database
 from repro.config import OptimizerConfig
 from repro.cost.model import CostModel, CostParams
+from repro.gpos.governor import ResourceGovernor
 from repro.gpos.memory import deep_sizeof
 from repro.memo.memo import Memo
 from repro.ops.physical import PhysicalCTEProducer
@@ -33,25 +40,23 @@ from repro.sql.translator import TranslatedQuery, Translator
 from repro.trace import NULL_TRACER, NullTracer, Tracer
 from repro.xforms.normalization import preprocess
 
+#: Where an optimization's plan came from (``OptimizationResult.plan_source``).
+PLAN_SOURCES = ("orca", "orca_partial", "planner_fallback", "cache")
+
 
 @dataclass
-class OptimizationResult:
-    """Everything an optimization session produced."""
+class SearchStats:
+    """Search-effort counters for one optimization.
 
-    plan: PlanNode
-    output_cols: list[ColRef]
-    output_names: list[str]
-    #: The translated query, or None for a plan served from the plan
-    #: cache (translation is skipped entirely on a hit).
-    query: Optional[TranslatedQuery]
-    #: The session's Memo, or None for a plan-cache hit (no search ran).
-    memo: Optional[Memo]
+    Split out of :class:`OptimizationResult` in the session-API redesign;
+    the result keeps deprecated read-only aliases for one release.
+    """
+
     num_groups: int = 0
     num_gexprs: int = 0
     jobs_executed: int = 0
     xform_count: int = 0
     kind_counts: dict[str, int] = field(default_factory=dict)
-    opt_time_seconds: float = 0.0
     memory_bytes: int = 0
     job_log: list = field(default_factory=list)
     #: Branch-and-bound accounting (see repro.search.jobs): alternatives
@@ -60,6 +65,27 @@ class OptimizationResult:
     pruned_alternatives: int = 0
     costed_alternatives: int = 0
     bound_redos: int = 0
+
+
+@dataclass
+class OptimizationResult:
+    """Everything an optimization session produced."""
+
+    plan: PlanNode
+    output_cols: list[ColRef]
+    output_names: list[str]
+    #: Provenance of ``plan``: ``"orca"`` (full search), ``"orca_partial"``
+    #: (best-so-far after a governor deadline), ``"planner_fallback"``
+    #: (session fell back to the legacy Planner) or ``"cache"`` (served
+    #: from the plan cache; no search ran).
+    plan_source: str = "orca"
+    #: The translated query; None for cache hits and Planner fallbacks.
+    query: Optional[TranslatedQuery] = None
+    #: The session's Memo; None for cache hits and Planner fallbacks.
+    memo: Optional[Memo] = None
+    #: Search-effort counters (all zero when no search ran).
+    search_stats: SearchStats = field(default_factory=SearchStats)
+    opt_time_seconds: float = 0.0
     #: Plan-cache outcome for this optimization: "" (cache disabled),
     #: "miss", "hit" (exact parameter match) or "rebind" (cached plan
     #: reused with re-bound parameter values).
@@ -73,25 +99,82 @@ class OptimizationResult:
     #: Benchmarks and AMPERe dumps read per-stage timings and event
     #: counts from here.
     trace: Union[Tracer, NullTracer, None] = None
+    #: Error code of the optimizer failure a session recovered from
+    #: (``plan_source == "planner_fallback"`` only), else None.
+    fallback_reason: Optional[str] = None
 
     def explain(self) -> str:
         return self.plan.explain()
 
+    # -- deprecated read-only aliases (pre-redesign flat counters) -------
+    @property
+    def num_groups(self) -> int:
+        return self.search_stats.num_groups
+
+    @property
+    def num_gexprs(self) -> int:
+        return self.search_stats.num_gexprs
+
+    @property
+    def jobs_executed(self) -> int:
+        return self.search_stats.jobs_executed
+
+    @property
+    def xform_count(self) -> int:
+        return self.search_stats.xform_count
+
+    @property
+    def kind_counts(self) -> dict[str, int]:
+        return self.search_stats.kind_counts
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.search_stats.memory_bytes
+
+    @property
+    def job_log(self) -> list:
+        return self.search_stats.job_log
+
+    @property
+    def pruned_alternatives(self) -> int:
+        return self.search_stats.pruned_alternatives
+
+    @property
+    def costed_alternatives(self) -> int:
+        return self.search_stats.costed_alternatives
+
+    @property
+    def bound_redos(self) -> int:
+        return self.search_stats.bound_redos
+
 
 class Orca:
-    """The optimizer (Figure 3): give it SQL, get a costed physical plan."""
+    """The optimizer (Figure 3): give it SQL, get a costed physical plan.
+
+    All options are keyword-only (the session-API redesign):
+    ``Orca(db, config=OptimizerConfig(segments=8))``.
+    """
 
     def __init__(
         self,
         catalog: Database,
+        *,
         config: Optional[OptimizerConfig] = None,
         cost_params: Optional[CostParams] = None,
         tracer: Optional[Tracer] = None,
+        governor: Optional[ResourceGovernor] = None,
+        faults=None,
     ):
         self.catalog = catalog
         self.config = config or OptimizerConfig()
         self.cost_params = cost_params
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Cooperative resource governor.  An explicit instance is reused
+        #: (and re-armed) across queries so per-session peaks accumulate;
+        #: otherwise one is built from the config's limits, if any.
+        self.governor = governor or ResourceGovernor.from_config(self.config)
+        #: Fault-injection harness (repro.service.faults), or None.
+        self.faults = faults
         #: Parameterized plan cache (Section 4.1 metadata versioning makes
         #: catalog-keyed invalidation safe); None when disabled.
         self.plan_cache: Optional[PlanCache] = (
@@ -105,6 +188,10 @@ class Orca:
         """Optimize one SQL statement end to end."""
         start = time.perf_counter()
         tracer = self.tracer
+        if self.governor is not None:
+            self.governor.arm()
+            if self.faults is not None:
+                self.faults.governor = self.governor
         if isinstance(sql_or_stmt, str):
             with tracer.span("parse"):
                 stmt = parse(sql_or_stmt)
@@ -121,8 +208,7 @@ class Orca:
                     plan=hit.plan,
                     output_cols=hit.output_cols,
                     output_names=hit.output_names,
-                    query=None,
-                    memo=None,
+                    plan_source="cache",
                     plan_cache=hit.kind,
                     stats_confidence=hit.stats_confidence,
                     trace=tracer,
@@ -137,14 +223,17 @@ class Orca:
         result = self.optimize_translated(query, factory)
         if self.plan_cache is not None:
             result.plan_cache = "miss"
-            self.plan_cache.store(
-                cache_key,
-                cache_params,
-                result.plan,
-                result.output_cols,
-                result.output_names,
-                stats_confidence=result.stats_confidence,
-            )
+            if result.plan_source == "orca":
+                # Never cache degraded plans: a best-so-far plan must not
+                # outlive the deadline that produced it.
+                self.plan_cache.store(
+                    cache_key,
+                    cache_params,
+                    result.plan,
+                    result.output_cols,
+                    result.output_names,
+                    stats_confidence=result.stats_confidence,
+                )
         result.opt_time_seconds = time.perf_counter() - start
         return result
 
@@ -168,12 +257,21 @@ class Orca:
         cte_producer_cols: dict[int, tuple] = {}
         cte_stats: dict[int, tuple] = {}
         cte_plans: dict[int, PlanNode] = {}
-        total_jobs = 0
-        total_xforms = 0
-        kind_counts: dict[str, int] = {}
-        job_log: list = []
-        memory = 0
-        pruned = costed = redos = 0
+        stats = SearchStats()
+        timed_out = False
+
+        def absorb(engine: SearchEngine, memo: Memo) -> None:
+            stats.jobs_executed += engine.jobs_executed
+            stats.xform_count += engine.xform_count
+            stats.job_log.extend(engine.job_log)
+            for kind, count in engine.kind_counts.items():
+                stats.kind_counts[kind] = (
+                    stats.kind_counts.get(kind, 0) + count
+                )
+            stats.memory_bytes += deep_sizeof(memo)
+            stats.pruned_alternatives += engine.pruned_alternatives
+            stats.costed_alternatives += engine.costed_alternatives
+            stats.bound_redos += engine.bound_redos
 
         # 1. Optimize shared CTE producers first, in dependency order.
         for cte in query.cte_defs:
@@ -187,11 +285,16 @@ class Orca:
             engine = SearchEngine(
                 memo, self.config, factory, self.catalog.stats,
                 cost_model, cte_stats=dict(cte_stats), tracer=tracer,
+                governor=self.governor, faults=self.faults,
             )
             engine.rule_ctx.cte_delivered = cte_delivered
             engine.rule_ctx.cte_producer_cols = cte_producer_cols
             engine.cte_plans = cte_plans
-            plan = engine.optimize(RequiredProps(ANY_DIST))
+            try:
+                plan = engine.optimize(RequiredProps(ANY_DIST))
+            finally:
+                absorb(engine, memo)
+            timed_out = timed_out or engine.timed_out
             producer_plan = PlanNode(
                 op=PhysicalCTEProducer(cte.cte_id, cte.output_cols),
                 children=[plan],
@@ -206,15 +309,6 @@ class Orca:
             cte_stats[cte.cte_id] = (
                 memo.root_group().stats, tuple(cte.output_cols)
             )
-            total_jobs += engine.jobs_executed
-            total_xforms += engine.xform_count
-            job_log.extend(engine.job_log)
-            for kind, count in engine.kind_counts.items():
-                kind_counts[kind] = kind_counts.get(kind, 0) + count
-            memory += deep_sizeof(memo)
-            pruned += engine.pruned_alternatives
-            costed += engine.costed_alternatives
-            redos += engine.bound_redos
 
         # 2. Optimize the main tree.
         with tracer.span("normalize"):
@@ -227,6 +321,7 @@ class Orca:
         engine = SearchEngine(
             memo, self.config, factory, self.catalog.stats,
             cost_model, cte_stats=cte_stats, tracer=tracer,
+            governor=self.governor, faults=self.faults,
         )
         engine.rule_ctx.cte_delivered = cte_delivered
         engine.rule_ctx.cte_producer_cols = cte_producer_cols
@@ -237,20 +332,18 @@ class Orca:
                 tuple(SortKey(c.id, asc) for c, asc in query.required_sort)
             ),
         )
-        plan = engine.optimize(req)
-        total_jobs += engine.jobs_executed
-        total_xforms += engine.xform_count
-        job_log.extend(engine.job_log)
-        for kind, count in engine.kind_counts.items():
-            kind_counts[kind] = kind_counts.get(kind, 0) + count
-        memory += deep_sizeof(memo)
-        pruned += engine.pruned_alternatives
-        costed += engine.costed_alternatives
-        redos += engine.bound_redos
+        try:
+            plan = engine.optimize(req)
+        finally:
+            absorb(engine, memo)
+        timed_out = timed_out or engine.timed_out
 
+        stats.num_groups = memo.num_groups()
+        stats.num_gexprs = memo.num_gexprs()
         root_stats = memo.root_group().stats
         return OptimizationResult(
             plan=plan,
+            plan_source="orca_partial" if timed_out else "orca",
             stats_confidence=(
                 root_stats.confidence if root_stats is not None else 1.0
             ),
@@ -258,15 +351,6 @@ class Orca:
             output_names=query.output_names,
             query=query,
             memo=memo,
-            num_groups=memo.num_groups(),
-            num_gexprs=memo.num_gexprs(),
-            jobs_executed=total_jobs,
-            xform_count=total_xforms,
-            kind_counts=kind_counts,
-            memory_bytes=memory,
-            job_log=job_log,
-            pruned_alternatives=pruned,
-            costed_alternatives=costed,
-            bound_redos=redos,
+            search_stats=stats,
             trace=tracer,
         )

@@ -13,6 +13,8 @@ from typing import Callable, Optional
 
 from repro.config import OptimizerConfig
 from repro.cost.model import CostModel
+from repro.errors import SearchTimeout
+from repro.gpos.memory import deep_sizeof
 from repro.gpos.scheduler import JobRecord, JobScheduler
 from repro.memo.context import PlanInfo
 from repro.memo.memo import GroupExpression, Memo
@@ -39,13 +41,23 @@ class SearchEngine:
         cost_model: Optional[CostModel] = None,
         cte_stats: Optional[dict] = None,
         tracer=None,
+        governor=None,
+        faults=None,
     ):
         self.memo = memo
         self.config = config
         self.column_factory = column_factory
         self.tracer = tracer or NULL_TRACER
+        #: Cooperative resource governor (repro.gpos.governor) enforced
+        #: by the job scheduler; None when the session is ungoverned.
+        self.governor = governor
+        #: Fault-injection harness (repro.service.faults); None in
+        #: production sessions.
+        self.faults = faults
         self.cost_model = cost_model or CostModel(segments=config.segments)
-        self.deriver = StatsDeriver(memo, config, table_stats, cte_stats)
+        self.deriver = StatsDeriver(
+            memo, config, table_stats, cte_stats, faults=faults
+        )
         self.rule_ctx = RuleContext(
             memo=memo,
             config=config,
@@ -69,24 +81,47 @@ class SearchEngine:
         self.bound_redos = 0
         #: cte_id -> optimized producer PlanNode (attached at extraction).
         self.cte_plans: dict[int, PlanNode] = {}
+        #: Set when a governor deadline cut this search short but a
+        #: best-so-far plan was still extracted (graceful degradation).
+        self.timed_out = False
 
     # ------------------------------------------------------------------
     def optimize(self, req: RequiredProps) -> PlanNode:
-        """Run all configured stages and extract the best plan."""
+        """Run all configured stages and extract the best plan.
+
+        A governor deadline (:class:`SearchTimeout`) raised mid-search is
+        absorbed when some complete plan already satisfies the root
+        request — the best-so-far plan is extracted and ``timed_out``
+        records the degradation.  With no plan yet, the timeout
+        propagates (the session layer then falls back to the Planner).
+        """
         root = self.memo.root
         assert root is not None, "memo root not set"
-        for stage in self.config.stages:
-            with self.tracer.span(f"search:{stage.name}"):
-                self._run_stage(req, stage.rules, stage.timeout_jobs)
-            if stage.cost_threshold is not None:
-                cost = self.best_cost(req)
-                if cost is not None and cost <= stage.cost_threshold:
-                    break
-        if self.best_cost(req) is None:
-            # Safety net: a final unbounded stage with every enabled rule,
-            # guaranteeing a plan when earlier stage budgets cut search off.
-            with self.tracer.span("search:safety-net"):
-                self._run_stage(req, None, None)
+        try:
+            for stage in self.config.stages:
+                with self.tracer.span(f"search:{stage.name}"):
+                    self._run_stage(req, stage.rules, stage.timeout_jobs)
+                if stage.cost_threshold is not None:
+                    cost = self.best_cost(req)
+                    if cost is not None and cost <= stage.cost_threshold:
+                        break
+            if self.best_cost(req) is None:
+                # Safety net: a final unbounded stage with every enabled
+                # rule, guaranteeing a plan when earlier stage budgets cut
+                # search off.
+                with self.tracer.span("search:safety-net"):
+                    self._run_stage(req, None, None)
+        except SearchTimeout as exc:
+            if self.best_cost(req) is None:
+                raise
+            self.timed_out = True
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "governor_timeout",
+                    elapsed_seconds=exc.elapsed_seconds,
+                    steps=exc.steps,
+                    best_cost=self.best_cost(req),
+                )
         with self.tracer.span("extract"):
             return self.extract(req)
 
@@ -98,6 +133,8 @@ class SearchEngine:
         return None
 
     def extract(self, req: RequiredProps) -> PlanNode:
+        if self.faults is not None:
+            self.faults.fire("extraction", group=self.memo.root)
         return extract_plan(
             self.memo, self.memo.root, req, self.cte_plans
         )
@@ -118,15 +155,23 @@ class SearchEngine:
         # an incumbent exists (the bound then tightens as children cost).
         self.memo.root_group().context(req).request_bound(math.inf)
         scheduler = JobScheduler(
-            workers=self.config.workers, tracer=self.tracer
+            workers=self.config.workers, tracer=self.tracer,
+            governor=self.governor,
         )
-        scheduler.run(
-            JobGroupOptimize(self, self.memo.root, req), job_budget=job_budget
-        )
-        self.job_log.extend(scheduler.job_log)
-        self.jobs_executed += scheduler.jobs_executed
-        for kind, count in scheduler.kind_counts.items():
-            self.kind_counts[kind] = self.kind_counts.get(kind, 0) + count
+        if self.governor is not None:
+            self.governor.set_memory_probe(lambda: deep_sizeof(self.memo))
+        try:
+            scheduler.run(
+                JobGroupOptimize(self, self.memo.root, req),
+                job_budget=job_budget,
+            )
+        finally:
+            # Accumulate whatever ran, even when a governor abort unwinds
+            # mid-stage — partial results still feed metrics and traces.
+            self.job_log.extend(scheduler.job_log)
+            self.jobs_executed += scheduler.jobs_executed
+            for kind, count in scheduler.kind_counts.items():
+                self.kind_counts[kind] = self.kind_counts.get(kind, 0) + count
 
     def _reset_fixpoints(self) -> None:
         """Allow new-stage rules to fire on already-visited expressions."""
@@ -172,6 +217,8 @@ class SearchEngine:
         if delivered is None or not delivered.satisfies(req):
             return None
         stats = self.deriver.derive(gexpr.group_id)
+        if self.faults is not None:
+            self.faults.fire("costing", gexpr_id=gexpr.id)
         local = self.cost_model.local_cost(
             gexpr.op, stats, child_stats, child_delivered, child_costs, delivered
         )

@@ -205,6 +205,10 @@ class JobXform(Job):
         if self.rule.name in self.gexpr.applied_rules:
             return None
         self.gexpr.applied_rules.add(self.rule.name)
+        if self.engine.faults is not None:
+            self.engine.faults.fire(
+                "xform_apply", rule=self.rule.name, gexpr_id=self.gexpr.id
+            )
         results = self.rule.apply(self.gexpr, self.engine.rule_ctx)
         group_id = self.engine.memo.find(self.gexpr.group_id)
         for expr in results:

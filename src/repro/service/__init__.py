@@ -1,0 +1,36 @@
+"""Resource-governed optimizer sessions (the service layer).
+
+What GPOS (Section 4.2) buys Orca inside a host DBMS — memory quotas,
+exception handling, clean aborts — plus what production deployments add
+around it: graceful fallback to the legacy Planner, retry of transient
+faults, bounded session concurrency, and a deterministic fault-injection
+harness to prove all of it under test.
+
+Entry points: :func:`repro.connect` / :class:`Session` for one governed
+session, :class:`SessionPool` for admission-controlled concurrency, and
+:mod:`repro.service.faults` for the resilience harness.
+"""
+
+from repro.service.faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultInjector,
+    FaultSpec,
+    FiredFault,
+    one_fault_per_site,
+)
+from repro.service.pool import SessionPool
+from repro.service.session import Session, SessionMetrics, connect
+
+__all__ = [
+    "Session",
+    "SessionMetrics",
+    "SessionPool",
+    "connect",
+    "FaultInjector",
+    "FaultSpec",
+    "FiredFault",
+    "FAULT_SITES",
+    "FAULT_KINDS",
+    "one_fault_per_site",
+]

@@ -1,0 +1,165 @@
+"""Admission-controlled pool of governed optimizer sessions.
+
+Bounds how many optimizer sessions run concurrently (the front door a
+host DBMS puts in front of its optimizer under heavy traffic): at most
+``max_sessions`` sessions are admitted at once, further :meth:`acquire`
+calls block up to an admission timeout and then fail with a typed
+:class:`repro.errors.AdmissionError` instead of queueing unboundedly.
+
+Sessions are recycled — a released session goes back to the free list
+with its plan cache warm and its metrics accumulating — so the pool's
+:meth:`metrics` is also where per-session counters are read out.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import replace
+from typing import Iterator, Optional
+
+from repro.catalog.database import Database
+from repro.config import OptimizerConfig
+from repro.errors import AdmissionError, OptimizerError
+from repro.service.session import Session
+
+#: Session constructor keywords; everything else passed to the pool is
+#: treated as an :class:`OptimizerConfig` field (mirrors ``connect``).
+_SESSION_KWARGS = frozenset({
+    "config", "tracer", "cost_params", "faults", "fallback",
+    "max_retries", "retry_backoff_seconds",
+})
+
+
+class SessionPool:
+    """A bounded, recycling pool of :class:`Session` objects."""
+
+    def __init__(
+        self,
+        catalog: Database,
+        *,
+        max_sessions: int = 4,
+        admission_timeout_seconds: Optional[float] = None,
+        **session_kwargs,
+    ):
+        if max_sessions < 1:
+            raise OptimizerError("max_sessions must be at least 1")
+        self.catalog = catalog
+        self.max_sessions = max_sessions
+        self.admission_timeout_seconds = admission_timeout_seconds
+        config_kwargs = {
+            k: session_kwargs.pop(k)
+            for k in list(session_kwargs)
+            if k not in _SESSION_KWARGS
+        }
+        if config_kwargs:
+            base = session_kwargs.get("config")
+            session_kwargs["config"] = (
+                replace(base, **config_kwargs)
+                if base is not None
+                else OptimizerConfig(**config_kwargs)
+            )
+        self._session_kwargs = session_kwargs
+        self._slots = threading.Semaphore(max_sessions)
+        self._lock = threading.Lock()
+        self._idle: list[Session] = []
+        self._sessions: list[Session] = []
+        self.admitted = 0
+        self.rejected = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    def acquire(self, timeout_seconds: Optional[float] = None) -> Session:
+        """Admit one session, blocking up to the admission timeout.
+
+        ``timeout_seconds`` overrides the pool default; ``None`` means
+        block indefinitely, ``0`` means fail immediately when full.
+        """
+        if self.closed:
+            raise OptimizerError("session pool is closed")
+        if timeout_seconds is None:
+            timeout_seconds = self.admission_timeout_seconds
+        if timeout_seconds is None:
+            admitted = self._slots.acquire()
+        elif timeout_seconds <= 0:
+            admitted = self._slots.acquire(blocking=False)
+        else:
+            admitted = self._slots.acquire(timeout=timeout_seconds)
+        if not admitted:
+            with self._lock:
+                self.rejected += 1
+            raise AdmissionError(
+                f"session pool full ({self.max_sessions} concurrent "
+                f"sessions); admission timed out"
+            )
+        with self._lock:
+            self.admitted += 1
+            if self._idle:
+                return self._idle.pop()
+            session = Session(
+                self.catalog,
+                name=f"session-{len(self._sessions)}",
+                **self._session_kwargs,
+            )
+            self._sessions.append(session)
+            return session
+
+    def release(self, session: Session) -> None:
+        with self._lock:
+            if session in self._idle or session not in self._sessions:
+                raise OptimizerError(
+                    "released a session this pool does not own"
+                )
+            self._idle.append(session)
+        self._slots.release()
+
+    @contextmanager
+    def session(
+        self, timeout_seconds: Optional[float] = None
+    ) -> Iterator[Session]:
+        session = self.acquire(timeout_seconds)
+        try:
+            yield session
+        finally:
+            self.release(session)
+
+    # ------------------------------------------------------------------
+    def optimize(self, sql, timeout_seconds: Optional[float] = None):
+        """Admit, optimize, release — the one-shot convenience path."""
+        with self.session(timeout_seconds) as s:
+            return s.optimize(sql)
+
+    def execute(self, sql, timeout_seconds: Optional[float] = None):
+        with self.session(timeout_seconds) as s:
+            return s.execute(sql)
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> int:
+        """Sessions currently admitted (created minus idle)."""
+        with self._lock:
+            return len(self._sessions) - len(self._idle)
+
+    def metrics(self) -> dict:
+        with self._lock:
+            return {
+                "max_sessions": self.max_sessions,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "active": len(self._sessions) - len(self._idle),
+                "sessions": {
+                    s.name: s.metrics.as_dict() for s in self._sessions
+                },
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            self.closed = True
+            for session in self._sessions:
+                session.close()
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,276 @@
+"""Governed optimizer sessions with graceful Planner fallback.
+
+The production contract this layer implements ("Query Optimization in
+the Wild"): *every* query gets a plan, bounded in time and memory.  A
+:class:`Session` wraps one :class:`repro.optimizer.Orca` instance and
+
+1. arms a :class:`repro.gpos.governor.ResourceGovernor` per query from
+   the config's ``search_deadline_ms`` / ``search_job_limit`` /
+   ``memory_quota_bytes`` limits;
+2. lets the engine degrade to the best-plan-so-far on a deadline
+   (``plan_source == "orca_partial"``);
+3. retries transiently-injected faults with exponential backoff; and
+4. on any remaining optimizer error, transparently falls back to the
+   legacy Planner (``plan_source == "planner_fallback"``), raising
+   :class:`repro.errors.FallbackError` only when the Planner fails too.
+
+Frontend errors (:class:`repro.errors.ParseError` and friends) are
+surfaced as-is — the Planner shares the SQL frontend, so falling back
+cannot help.  ``fallback=False`` surfaces every raw optimizer error (the
+CLI's ``--no-fallback``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.catalog.database import Database
+from repro.config import OptimizerConfig
+from repro.engine.cluster import Cluster
+from repro.engine.executor import ExecutionResult, Executor
+from repro.errors import (
+    FallbackError,
+    MemoryQuotaExceeded,
+    OptimizerError,
+    ParseError,
+    ReproError,
+    SearchTimeout,
+)
+from repro.optimizer import OptimizationResult, Orca
+from repro.planner import LegacyPlanner
+from repro.sql.ast import SelectStmt
+from repro.trace import Tracer
+
+
+@dataclass
+class SessionMetrics:
+    """Per-session counters, keyed by the plan's provenance."""
+
+    queries: int = 0
+    #: plan_source -> count ("orca", "orca_partial", "planner_fallback",
+    #: "cache").
+    plan_sources: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    fallbacks: int = 0
+    timeouts: int = 0
+    quota_trips: int = 0
+    errors: int = 0
+    total_opt_seconds: float = 0.0
+
+    def record(self, result: OptimizationResult) -> None:
+        self.queries += 1
+        source = result.plan_source
+        self.plan_sources[source] = self.plan_sources.get(source, 0) + 1
+        self.total_opt_seconds += result.opt_time_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "plan_sources": dict(self.plan_sources),
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "timeouts": self.timeouts,
+            "quota_trips": self.quota_trips,
+            "errors": self.errors,
+            "total_opt_seconds": self.total_opt_seconds,
+        }
+
+
+class Session:
+    """One governed optimizer session over a catalog.
+
+    Create via :func:`connect` (the stable public entry point); options
+    are keyword-only.
+    """
+
+    def __init__(
+        self,
+        catalog: Database,
+        *,
+        config: Optional[OptimizerConfig] = None,
+        tracer: Optional[Tracer] = None,
+        cost_params=None,
+        faults=None,
+        fallback: bool = True,
+        max_retries: int = 0,
+        retry_backoff_seconds: float = 0.0,
+        name: str = "session",
+    ):
+        self.catalog = catalog
+        self.config = config or OptimizerConfig()
+        self.fallback = fallback
+        self.max_retries = max(int(max_retries), 0)
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.name = name
+        self.metrics = SessionMetrics()
+        self.closed = False
+        self._orca = Orca(
+            catalog,
+            config=self.config,
+            cost_params=cost_params,
+            tracer=tracer,
+            faults=faults,
+        )
+        self._cluster: Optional[Cluster] = None
+        #: The most recent OptimizationResult (set by optimize/execute).
+        self.last_result: Optional[OptimizationResult] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        return self._orca.tracer
+
+    @property
+    def governor(self):
+        return self._orca.governor
+
+    @property
+    def orca(self) -> Orca:
+        """The underlying optimizer (escape hatch; not governed-safe)."""
+        return self._orca
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise OptimizerError(f"session '{self.name}' is closed")
+
+    # ------------------------------------------------------------------
+    def optimize(self, sql_or_stmt: Union[str, SelectStmt]) -> OptimizationResult:
+        """Optimize one statement; always returns a plan unless the
+        frontend rejects the query or fallback is disabled/failing."""
+        self._check_open()
+        attempt = 0
+        while True:
+            try:
+                result = self._orca.optimize(sql_or_stmt)
+            except ParseError:
+                # The Planner shares the SQL frontend: fallback cannot
+                # produce a plan for a query that does not parse/bind.
+                self.metrics.errors += 1
+                raise
+            except ReproError as exc:
+                if (
+                    attempt < self.max_retries
+                    and getattr(exc, "transient", False)
+                ):
+                    attempt += 1
+                    self.metrics.retries += 1
+                    if self.tracer.enabled:
+                        self.tracer.record(
+                            "retry", attempt=attempt, code=exc.code
+                        )
+                    if self.retry_backoff_seconds > 0.0:
+                        time.sleep(
+                            self.retry_backoff_seconds * 2 ** (attempt - 1)
+                        )
+                    continue
+                if isinstance(exc, SearchTimeout):
+                    self.metrics.timeouts += 1
+                elif isinstance(exc, MemoryQuotaExceeded):
+                    self.metrics.quota_trips += 1
+                if not self.fallback:
+                    self.metrics.errors += 1
+                    raise
+                result = self._fall_back(sql_or_stmt, exc)
+            if result.plan_source == "orca_partial":
+                self.metrics.timeouts += 1
+            self.metrics.record(result)
+            self.last_result = result
+            return result
+
+    def explain(self, sql_or_stmt: Union[str, SelectStmt]) -> str:
+        """Optimize and render the plan tree (annotated with its source)."""
+        result = self.optimize(sql_or_stmt)
+        header = f"-- plan source: {result.plan_source}"
+        if result.fallback_reason:
+            header += f" (after {result.fallback_reason})"
+        return f"{header}\n{result.explain()}"
+
+    def execute(self, sql_or_stmt: Union[str, SelectStmt]) -> ExecutionResult:
+        """Optimize and run on the session's simulated cluster."""
+        result = self.optimize(sql_or_stmt)
+        if self._cluster is None:
+            self._cluster = Cluster(self.catalog, segments=self.config.segments)
+        executor = Executor(self._cluster, tracer=self._orca.tracer)
+        return executor.execute(result.plan, result.output_cols)
+
+    # ------------------------------------------------------------------
+    def _fall_back(
+        self, sql_or_stmt: Union[str, SelectStmt], original: ReproError
+    ) -> OptimizationResult:
+        self.metrics.fallbacks += 1
+        if self.tracer.enabled:
+            self.tracer.record(
+                "fallback", reason=original.code, error=str(original)
+            )
+        start = time.perf_counter()
+        try:
+            planned = LegacyPlanner(self.catalog, self.config).optimize(
+                sql_or_stmt
+            )
+        except Exception as fallback_exc:
+            self.metrics.errors += 1
+            raise FallbackError(original, fallback_exc) from fallback_exc
+        return OptimizationResult(
+            plan=planned.plan,
+            output_cols=planned.output_cols,
+            output_names=planned.output_names,
+            plan_source="planner_fallback",
+            fallback_reason=original.code,
+            trace=self._orca.tracer,
+            opt_time_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self.name!r}, queries={self.metrics.queries}, "
+            f"fallback={self.fallback})"
+        )
+
+
+def connect(
+    catalog: Database,
+    *,
+    config: Optional[OptimizerConfig] = None,
+    tracer: Optional[Tracer] = None,
+    cost_params=None,
+    faults=None,
+    fallback: bool = True,
+    max_retries: int = 0,
+    retry_backoff_seconds: float = 0.0,
+    name: str = "session",
+    **config_kwargs,
+) -> Session:
+    """Open a governed optimizer session — the stable public entry point.
+
+    Extra keyword arguments are :class:`OptimizerConfig` fields::
+
+        session = repro.connect(db, segments=8, search_deadline_ms=250)
+        result = session.optimize("SELECT ...")   # always yields a plan
+    """
+    if config is None:
+        config = OptimizerConfig(**config_kwargs)
+    elif config_kwargs:
+        config = replace(config, **config_kwargs)
+    return Session(
+        catalog,
+        config=config,
+        tracer=tracer,
+        cost_params=cost_params,
+        faults=faults,
+        fallback=fallback,
+        max_retries=max_retries,
+        retry_backoff_seconds=retry_backoff_seconds,
+        name=name,
+    )

@@ -76,6 +76,7 @@ class StatsDeriver:
         config: OptimizerConfig,
         table_stats: Callable[[str], Optional["TableStats"]],
         cte_stats: Optional[dict[int, tuple[StatsObject, tuple]]] = None,
+        faults=None,
     ):
         self.memo = memo
         self.config = config
@@ -83,12 +84,17 @@ class StatsDeriver:
         #: cte_id -> (producer StatsObject, producer output ColRefs)
         self.cte_stats = cte_stats if cte_stats is not None else {}
         self._in_progress: set[int] = set()
+        #: Fault-injection harness (repro.service.faults); fires the
+        #: ``stats_derive`` site once per actual group derivation.
+        self.faults = faults
 
     # ------------------------------------------------------------------
     def derive(self, group_id: int) -> StatsObject:
         group = self.memo.group(group_id)
         if group.stats is not None:
             return group.stats
+        if self.faults is not None:
+            self.faults.fire("stats_derive", group=group.id)
         if group.id in self._in_progress:
             # Defensive: recursive CTE-like cycle; return a guess.
             return StatsObject(row_count=1000.0)

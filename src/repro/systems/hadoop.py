@@ -57,7 +57,7 @@ class SimulatedEngine:
         self.db = db
         self.time_limit_seconds = time_limit_seconds
         self.config = OptimizerConfig(segments=profile.segments)
-        self._orca = Orca(db, self.config) if profile.cost_based else None
+        self._orca = Orca(db, config=self.config) if profile.cost_based else None
         self._planner = LegacyPlanner(
             db, self.config, join_strategy=profile.join_strategy
         )

@@ -59,6 +59,13 @@ EVENT_KINDS = frozenset({
     "plan_cache_miss",
     "plan_cache_store",
     "plan_cache_evict",
+    # Governed sessions (repro.service): a deadline absorbed with a
+    # best-so-far plan, a retried transient fault, a Planner fallback,
+    # and a deterministically injected fault.
+    "governor_timeout",
+    "retry",
+    "fallback",
+    "fault_injected",
 })
 
 

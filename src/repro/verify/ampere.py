@@ -217,7 +217,7 @@ def replay_dump(
         required_sort=required_sort,
         cte_defs=cte_defs,
     )
-    orca = Orca(db, config)
+    orca = Orca(db, config=config)
     return orca.optimize_translated(query, factory)
 
 

@@ -1,0 +1,164 @@
+"""Public API snapshot: the facade the session redesign stabilized.
+
+Locks down ``repro.__all__``, the keyword-only constructor contracts,
+the exception hierarchy, and the OptimizationResult field split, so an
+accidental export or signature change fails CI instead of shipping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+
+import pytest
+
+import repro
+
+#: The public surface, frozen.  Extending it is a deliberate act:
+#: update this snapshot in the same PR that documents the addition.
+EXPECTED_ALL = frozenset({
+    # session facade
+    "connect", "Session", "SessionMetrics", "SessionPool",
+    # core optimizer
+    "Orca", "OptimizationResult", "SearchStats", "PLAN_SOURCES",
+    "OptimizerConfig", "OptimizationStage", "LegacyPlanner",
+    "ResourceGovernor",
+    # substrates
+    "Database", "Cluster", "Executor", "ExecutionResult", "PlanNode",
+    # errors
+    "ReproError", "OptimizerError", "ParseError", "TranslationError",
+    "NoPlanError", "SearchTimeout", "MemoryQuotaExceeded",
+    "FallbackError", "InjectedFault", "AdmissionError",
+    # fault injection
+    "FaultInjector", "FaultSpec",
+    # tracing
+    "Tracer", "NullTracer", "TraceEvent",
+    "__version__",
+})
+
+
+class TestAllSnapshot:
+    def test_all_matches_snapshot(self):
+        assert frozenset(repro.__all__) == EXPECTED_ALL
+
+    def test_every_export_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+
+class TestKeywordOnlyConstructors:
+    def test_connect_catalog_positional_rest_keyword(self):
+        sig = inspect.signature(repro.connect)
+        params = list(sig.parameters.values())
+        assert params[0].name == "catalog"
+        assert params[0].kind is inspect.Parameter.POSITIONAL_OR_KEYWORD
+        for p in params[1:]:
+            assert p.kind in (
+                inspect.Parameter.KEYWORD_ONLY,
+                inspect.Parameter.VAR_KEYWORD,
+            ), p.name
+
+    def test_orca_options_are_keyword_only(self, small_db):
+        with pytest.raises(TypeError):
+            repro.Orca(small_db, repro.OptimizerConfig())
+        orca = repro.Orca(small_db, config=repro.OptimizerConfig(segments=2))
+        assert orca.config.segments == 2
+
+    def test_session_options_are_keyword_only(self, small_db):
+        with pytest.raises(TypeError):
+            repro.Session(small_db, repro.OptimizerConfig())
+
+    def test_optimizer_config_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            repro.OptimizerConfig(4)
+        config = repro.OptimizerConfig(segments=4)
+        assert config.segments == 4
+
+    def test_optimizer_config_is_frozen(self):
+        config = repro.OptimizerConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.segments = 8
+
+    def test_session_methods_exist(self):
+        for method in ("optimize", "execute", "explain", "close"):
+            assert callable(getattr(repro.Session, method))
+
+
+class TestExceptionHierarchy:
+    def test_optimizer_error_umbrella(self):
+        for exc in (
+            repro.ParseError,
+            repro.TranslationError,
+            repro.SearchTimeout,
+            repro.MemoryQuotaExceeded,
+            repro.FallbackError,
+            repro.InjectedFault,
+            repro.AdmissionError,
+            repro.NoPlanError,
+        ):
+            assert issubclass(exc, repro.OptimizerError), exc
+            assert issubclass(exc, repro.ReproError), exc
+
+    def test_error_codes_are_distinct(self):
+        codes = {
+            exc("x").code if exc is not repro.FallbackError
+            else repro.FallbackError(ValueError(), ValueError()).code
+            for exc in (
+                repro.ParseError,
+                repro.TranslationError,
+                repro.OptimizerError,
+            )
+        } | {
+            repro.SearchTimeout("x").code,
+            repro.MemoryQuotaExceeded(used_bytes=1, quota_bytes=1).code,
+            repro.InjectedFault("costing", 1).code,
+            repro.AdmissionError("x").code,
+        }
+        assert len(codes) == 7
+
+    def test_legacy_sql_error_is_a_parse_error(self):
+        from repro.errors import BindError, SQLError
+
+        assert issubclass(SQLError, repro.ParseError)
+        assert issubclass(BindError, SQLError)
+
+
+class TestResultShape:
+    def test_plan_sources_constant(self):
+        assert repro.PLAN_SOURCES == (
+            "orca", "orca_partial", "planner_fallback", "cache"
+        )
+
+    def test_search_stats_fields(self):
+        names = {f.name for f in dataclasses.fields(repro.SearchStats)}
+        assert names == {
+            "num_groups", "num_gexprs", "jobs_executed", "xform_count",
+            "kind_counts", "memory_bytes", "job_log",
+            "pruned_alternatives", "costed_alternatives", "bound_redos",
+        }
+
+    def test_result_has_plan_source_field(self):
+        names = {f.name for f in dataclasses.fields(repro.OptimizationResult)}
+        assert "plan_source" in names
+        assert "search_stats" in names
+        assert "fallback_reason" in names
+
+    def test_deprecated_aliases_are_read_only_delegates(self):
+        stats = repro.SearchStats(num_groups=7, jobs_executed=11)
+        result = repro.OptimizationResult(
+            plan=None, output_cols=[], output_names=[], search_stats=stats
+        )
+        assert result.num_groups == 7
+        assert result.jobs_executed == 11
+        with pytest.raises(AttributeError):
+            result.num_groups = 3  # property, no setter
+
+    def test_facade_smoke(self, small_db):
+        session = repro.connect(small_db, segments=2)
+        result = session.optimize("SELECT a FROM t1 WHERE a < 10")
+        assert result.plan_source == "orca"
+        assert session.metrics.queries == 1

@@ -80,6 +80,44 @@ class TestCLI:
         assert "plan matches the dump's expected plan: True" in out
 
     def test_sql_error_is_reported(self, capsys):
+        # Parse/bind errors map to the dedicated ParseError exit code.
         rc = main(["explain", "SELEKT nothing"] + ARGS)
-        assert rc == 2
+        assert rc == 3
         assert "error" in capsys.readouterr().err
+
+
+class TestGovernedCLI:
+    """Governance flags and the distinct exit codes they map to."""
+
+    def test_no_fallback_job_limit_exits_5(self, capsys):
+        rc = main(
+            ["explain", SQL, "--job-limit", "3", "--no-fallback"] + ARGS
+        )
+        assert rc == 5
+        assert "SEARCH_TIMEOUT" in capsys.readouterr().err
+
+    def test_no_fallback_memory_quota_exits_6(self, capsys):
+        rc = main(
+            ["explain", SQL, "--memory-quota-mb", "0.01", "--no-fallback"]
+            + ARGS
+        )
+        assert rc == 6
+        assert "MEM_QUOTA" in capsys.readouterr().err
+
+    def test_fallback_banner_on_explain(self, capsys):
+        rc = main(["explain", SQL, "--job-limit", "3"] + ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "-- plan source: planner_fallback (after SEARCH_TIMEOUT)" in out
+
+    def test_fallback_run_still_prints_rows(self, capsys):
+        rc = main(["run", SQL, "--job-limit", "3"] + ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1998 | 365" in out
+        assert "planner_fallback" in out
+
+    def test_generous_deadline_is_invisible(self, capsys):
+        rc = main(["explain", SQL, "--deadline-ms", "60000"] + ARGS)
+        assert rc == 0
+        assert "plan source" not in capsys.readouterr().out

@@ -23,7 +23,7 @@ def db():
 
 
 def confidence(db, sql, **config_kwargs):
-    orca = Orca(db, OptimizerConfig(segments=8, **config_kwargs))
+    orca = Orca(db, config=OptimizerConfig(segments=8, **config_kwargs))
     return orca.optimize(sql).stats_confidence
 
 

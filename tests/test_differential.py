@@ -111,7 +111,7 @@ def env():
     config = OptimizerConfig(segments=8)
     return (
         db,
-        Orca(db, config),
+        Orca(db, config=config),
         LegacyPlanner(db, config),
         Cluster(db, segments=8),
     )

@@ -38,7 +38,7 @@ def test_corpus_differential_with_trace(env, seed):
     sql = QueryGenerator(seed).generate()
 
     tracer = Tracer()
-    orca_result = Orca(db, config, tracer=tracer).optimize(sql)
+    orca_result = Orca(db, config=config, tracer=tracer).optimize(sql)
     planner_result = LegacyPlanner(db, config).optimize(sql)
 
     orca_out = Executor(cluster, tracer=tracer).execute(

@@ -188,7 +188,7 @@ class TestPlanDXL:
         from repro.config import OptimizerConfig
         from repro.optimizer import Orca
 
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         result = orca.optimize("SELECT a FROM t1 ORDER BY a")
         text = to_string(serialize_plan(result.plan))
         assert "Cost=" in text and "GatherMerge" in text
@@ -280,7 +280,7 @@ class TestFileProvider:
         path = tmp_path / "metadata.dxl"
         path.write_text(to_string(serialize_metadata(db)), encoding="utf-8")
         accessor = MDAccessor(MDCache(), FileProvider(path))
-        orca = Orca(accessor, OptimizerConfig(segments=8))
+        orca = Orca(accessor, config=OptimizerConfig(segments=8))
         result = orca.optimize(
             "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b ORDER BY t1.a"
         )

@@ -26,7 +26,7 @@ def part_db():
 
 
 def run(db, sql, segments=8, **executor_kwargs):
-    orca = Orca(db, OptimizerConfig(segments=segments))
+    orca = Orca(db, config=OptimizerConfig(segments=segments))
     result = orca.optimize(sql)
     cluster = executor_kwargs.pop("cluster", None) or Cluster(db, segments=segments)
     out = Executor(cluster, **executor_kwargs).execute(
@@ -311,7 +311,7 @@ class TestResourceLimits:
     def test_oom_without_spill(self, db):
         cluster = Cluster(db, segments=8, memory_limit_bytes=64,
                           spill_enabled=False)
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         result = orca.optimize(
             "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b"
         )
@@ -322,7 +322,7 @@ class TestResourceLimits:
         tight = Cluster(db, segments=8, memory_limit_bytes=64,
                         spill_enabled=True)
         roomy = Cluster(db, segments=8)
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         result = orca.optimize("SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b")
         spilled = Executor(tight).execute(result.plan, result.output_cols)
         normal = Executor(roomy).execute(result.plan, result.output_cols)

@@ -140,7 +140,7 @@ class TestIndexScanPlans:
         from repro.optimizer import Orca
 
         db = make_small_db()  # t1 has an index on b
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         result = orca.optimize("SELECT a FROM t1 WHERE b = 97")
         assert any(
             node.op.name == "IndexScan" for node in result.plan.walk()
@@ -152,7 +152,7 @@ class TestIndexScanPlans:
         from repro.optimizer import Orca
 
         db = make_small_db()
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         result = orca.optimize("SELECT a FROM t1 WHERE b >= 0")
         assert any(
             node.op.name == "TableScan" for node in result.plan.walk()
@@ -165,7 +165,7 @@ class TestIndexScanPlans:
         from repro.optimizer import Orca
 
         db = make_small_db()
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         result = orca.optimize("SELECT a, b FROM t1 WHERE b = 97")
         out = Executor(Cluster(db, segments=8)).execute(
             result.plan, result.output_cols

@@ -31,7 +31,7 @@ GOLDEN_SEGMENTS = 8
 
 @pytest.fixture(scope="module")
 def golden_orca(tpcds_db):
-    return Orca(tpcds_db, OptimizerConfig(segments=GOLDEN_SEGMENTS))
+    return Orca(tpcds_db, config=OptimizerConfig(segments=GOLDEN_SEGMENTS))
 
 
 @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.id)

@@ -117,7 +117,7 @@ class TestPlansAndExecution:
         config = OptimizerConfig(segments=8).with_disabled(
             "InnerJoin2HashJoin", "InnerJoin2NLJoin"
         )
-        orca = Orca(db, config)
+        orca = Orca(db, config=config)
         sql = "SELECT t1.a, t2.b FROM t1, t2 WHERE t1.a = t2.a ORDER BY t1.a"
         result = orca.optimize(sql)
         assert any(
@@ -141,7 +141,7 @@ class TestPlansAndExecution:
         """Even with all join implementations enabled, the merge join is
         a costed member of the search space (TAQO can sample it)."""
         db = make_small_db()
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         result = orca.optimize(
             "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.a ORDER BY t1.a"
         )
@@ -164,8 +164,8 @@ class TestPlansAndExecution:
             "InnerJoin2HashJoin", "InnerJoin2NLJoin"
         )
         cluster = Cluster(db, segments=8)
-        r1 = Orca(db, hash_cfg).optimize(sql)
-        r2 = Orca(db, merge_cfg).optimize(sql)
+        r1 = Orca(db, config=hash_cfg).optimize(sql)
+        r2 = Orca(db, config=merge_cfg).optimize(sql)
         assert any(n.op.name == "MergeJoin" for n in r2.plan.walk())
         out1 = Executor(cluster).execute(r1.plan, r1.output_cols)
         out2 = Executor(cluster).execute(r2.plan, r2.output_cols)
@@ -180,10 +180,10 @@ class TestPlansAndExecution:
         merge_cfg = OptimizerConfig(segments=8).with_disabled(
             "InnerJoin2HashJoin", "InnerJoin2NLJoin"
         )
-        r = Orca(db, merge_cfg).optimize(sql)
+        r = Orca(db, config=merge_cfg).optimize(sql)
         assert any(n.op.name == "MergeJoin" for n in r.plan.walk())
         out = Executor(Cluster(db, segments=8)).execute(r.plan, r.output_cols)
-        hash_r = Orca(db, OptimizerConfig(segments=8).with_disabled(
+        hash_r = Orca(db, config=OptimizerConfig(segments=8).with_disabled(
             "InnerJoin2MergeJoin"
         )).optimize(sql)
         out_ref = Executor(Cluster(db, segments=8)).execute(

@@ -42,7 +42,7 @@ DPE_SQL = (
 
 class TestOrcaFacade:
     def test_result_metadata(self, db):
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         result = orca.optimize("SELECT a FROM t1 ORDER BY a")
         assert result.num_groups > 0
         assert result.num_gexprs >= result.num_groups
@@ -53,13 +53,13 @@ class TestOrcaFacade:
         assert "Opt(g,req)" in result.kind_counts
 
     def test_explain_readable(self, db):
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         result = orca.optimize("SELECT a FROM t1 ORDER BY a")
         text = result.explain()
         assert "GatherMerge" in text or "Sort" in text
 
     def test_deterministic_plans(self, db):
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         sql = "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b ORDER BY t1.a"
         p1 = orca.optimize(sql).plan
         p2 = orca.optimize(sql).plan
@@ -68,14 +68,14 @@ class TestOrcaFacade:
     def test_accepts_pre_parsed_statement(self, db):
         from repro.sql.parser import parse
 
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         stmt = parse("SELECT a FROM t1 LIMIT 1")
         assert orca.optimize(stmt).plan is not None
 
     def test_segments_affect_costs(self, db):
         sql = "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b"
-        cost_2 = Orca(db, OptimizerConfig(segments=2)).optimize(sql).plan.cost
-        cost_32 = Orca(db, OptimizerConfig(segments=32)).optimize(sql).plan.cost
+        cost_2 = Orca(db, config=OptimizerConfig(segments=2)).optimize(sql).plan.cost
+        cost_32 = Orca(db, config=OptimizerConfig(segments=32)).optimize(sql).plan.cost
         assert cost_2 != cost_32
 
 
@@ -83,8 +83,8 @@ class TestAblations:
     """Each Section 7.2.2 feature can be disabled and measurably hurts."""
 
     def run_both(self, db, sql, config_off, segments=8):
-        on = Orca(db, OptimizerConfig(segments=segments)).optimize(sql)
-        off = Orca(db, config_off).optimize(sql)
+        on = Orca(db, config=OptimizerConfig(segments=segments)).optimize(sql)
+        off = Orca(db, config=config_off).optimize(sql)
         out_on = execute(db, on.plan, on.output_cols, segments)
         out_off = execute(db, off.plan, off.output_cols, segments)
         assert rows_equal(out_on.rows, out_off.rows)
@@ -131,7 +131,7 @@ class TestPlanner:
             "SELECT a FROM t1 ORDER BY b DESC LIMIT 5",
             CORRELATED_SQL,
         ]
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         planner = LegacyPlanner(db, OptimizerConfig(segments=8))
         for sql in sqls:
             r_orca = orca.optimize(sql)
@@ -148,7 +148,7 @@ class TestPlanner:
         )
 
     def test_orca_decorrelates_same_query(self, db):
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         result = orca.optimize(CORRELATED_SQL)
         assert not any(
             node.op.name == "CorrelatedNLJoin" for node in result.plan.walk()
@@ -163,7 +163,7 @@ class TestPlanner:
         )
 
     def test_orca_shares_ctes(self, db):
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         result = orca.optimize(CTE_SQL)
         names = [node.op.name for node in result.plan.walk()]
         assert "CTEProducer" in names
@@ -206,7 +206,7 @@ class TestPlanner:
 
 class TestOrcaVsPlannerShape:
     def test_orca_wins_on_correlated(self, db):
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         planner = LegacyPlanner(db, OptimizerConfig(segments=8))
         r1 = orca.optimize(CORRELATED_SQL)
         r2 = planner.optimize(CORRELATED_SQL)
@@ -215,7 +215,7 @@ class TestOrcaVsPlannerShape:
         assert t2 / t1 > 20
 
     def test_orca_wins_on_cte(self, db):
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         planner = LegacyPlanner(db, OptimizerConfig(segments=8))
         r1 = orca.optimize(CTE_SQL)
         r2 = planner.optimize(CTE_SQL)

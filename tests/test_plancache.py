@@ -30,7 +30,7 @@ def _cached_orca(db, size=8, tracer=None, **kw):
     config = OptimizerConfig(
         segments=8, enable_plan_cache=True, plan_cache_size=size, **kw
     )
-    return Orca(db, config, tracer=tracer) if tracer else Orca(db, config)
+    return Orca(db, config=config, tracer=tracer) if tracer else Orca(db, config=config)
 
 
 # ----------------------------------------------------------------------
@@ -97,7 +97,7 @@ def test_exact_hit_skips_search(cache_db):
 
 def test_rebind_returns_identical_rows(cache_db):
     orca = _cached_orca(cache_db)
-    fresh = Orca(cache_db, OptimizerConfig(segments=8))
+    fresh = Orca(cache_db, config=OptimizerConfig(segments=8))
     cluster = Cluster(cache_db, segments=8)
     template = "SELECT a, b FROM t1 WHERE b = {v} ORDER BY a, b LIMIT 50"
 
@@ -116,7 +116,7 @@ def test_rebind_returns_identical_rows(cache_db):
 
 def test_rebind_handles_in_lists_and_multiple_params(cache_db):
     orca = _cached_orca(cache_db)
-    fresh = Orca(cache_db, OptimizerConfig(segments=8))
+    fresh = Orca(cache_db, config=OptimizerConfig(segments=8))
     cluster = Cluster(cache_db, segments=8)
     template = (
         "SELECT t1.a, count(*) AS n FROM t1 JOIN t2 ON t1.a = t2.a "
@@ -178,7 +178,7 @@ def test_type_changing_parameters_do_not_rebind(cache_db):
 
 
 def test_cache_disabled_by_default(cache_db):
-    orca = Orca(cache_db, OptimizerConfig(segments=8))
+    orca = Orca(cache_db, config=OptimizerConfig(segments=8))
     assert orca.plan_cache is None
     assert orca.optimize("SELECT a FROM t1 WHERE b = 5").plan_cache == ""
 
@@ -201,7 +201,7 @@ def prop_env():
     db = make_small_db(t1_rows=1500, t2_rows=300)
     return (
         _cached_orca(db, size=64),
-        Orca(db, OptimizerConfig(segments=8)),
+        Orca(db, config=OptimizerConfig(segments=8)),
         Cluster(db, segments=8),
     )
 

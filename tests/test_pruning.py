@@ -36,8 +36,8 @@ def _configs():
 @pytest.fixture(scope="module")
 def workload_results(tpcds_db):
     pruned_cfg, exhaustive_cfg = _configs()
-    pruned = Orca(tpcds_db, pruned_cfg)
-    exhaustive = Orca(tpcds_db, exhaustive_cfg)
+    pruned = Orca(tpcds_db, config=pruned_cfg)
+    exhaustive = Orca(tpcds_db, config=exhaustive_cfg)
     return [
         (q.id, pruned.optimize(q.sql), exhaustive.optimize(q.sql))
         for q in QUERIES
@@ -79,7 +79,7 @@ def test_search_pruned_trace_events(tpcds_db):
     event whose payload names the expression, the sound partial cost and
     the threshold it reached."""
     tracer = Tracer()
-    orca = Orca(tpcds_db, OptimizerConfig(segments=8), tracer=tracer)
+    orca = Orca(tpcds_db, config=OptimizerConfig(segments=8), tracer=tracer)
     query = next(q for q in QUERIES if q.id == "star_brand")
     result = orca.optimize(query.sql)
     events = tracer.events_of("search_pruned")
@@ -94,9 +94,7 @@ def test_search_pruned_trace_events(tpcds_db):
 
 def test_no_pruning_events_when_disabled(tpcds_db):
     tracer = Tracer()
-    orca = Orca(
-        tpcds_db,
-        OptimizerConfig(segments=8, enable_cost_bound_pruning=False),
+    orca = Orca(tpcds_db, config=OptimizerConfig(segments=8, enable_cost_bound_pruning=False),
         tracer=tracer,
     )
     query = next(q for q in QUERIES if q.id == "star_brand")
@@ -116,8 +114,8 @@ def test_property_pruning_never_changes_chosen_cost(prop_db, seed):
     schema, pruned and exhaustive searches select identical-cost plans."""
     sql = QueryGenerator(seed).generate()
     pruned_cfg, exhaustive_cfg = _configs()
-    pruned = Orca(prop_db, pruned_cfg).optimize(sql)
-    exhaustive = Orca(prop_db, exhaustive_cfg).optimize(sql)
+    pruned = Orca(prop_db, config=pruned_cfg).optimize(sql)
+    exhaustive = Orca(prop_db, config=exhaustive_cfg).optimize(sql)
     assert pruned.plan.cost == pytest.approx(
         exhaustive.plan.cost, rel=1e-9
     ), sql

@@ -119,8 +119,8 @@ class TestGenerateFromStats:
             "SELECT state, count(*) AS n FROM customer "
             "WHERE score < 25 GROUP BY state ORDER BY n DESC"
         )
-        plan_src = Orca(source, OptimizerConfig(segments=8)).optimize(sql)
-        plan_clone = Orca(clone, OptimizerConfig(segments=8)).optimize(sql)
+        plan_src = Orca(source, config=OptimizerConfig(segments=8)).optimize(sql)
+        plan_clone = Orca(clone, config=OptimizerConfig(segments=8)).optimize(sql)
         assert [n.op.name for n in plan_src.plan.walk()] == \
             [n.op.name for n in plan_clone.plan.walk()]
 
@@ -158,7 +158,7 @@ class TestGenerateFromStats:
         )
         # note: stats in `offline` are the *harvested* ones; execution
         # uses the regenerated rows
-        result = Orca(offline, OptimizerConfig(segments=8)).optimize(
+        result = Orca(offline, config=OptimizerConfig(segments=8)).optimize(
             "SELECT count(*) FROM customer WHERE state = 'CA'"
         )
         out = Executor(Cluster(offline, segments=8)).execute(

@@ -22,7 +22,7 @@ def db():
 
 def run(db, sql, use_planner=False):
     config = OptimizerConfig(segments=8)
-    optimizer = LegacyPlanner(db, config) if use_planner else Orca(db, config)
+    optimizer = LegacyPlanner(db, config) if use_planner else Orca(db, config=config)
     result = optimizer.optimize(sql)
     out = Executor(Cluster(db, segments=8)).execute(
         result.plan, result.output_cols

@@ -164,7 +164,7 @@ class TestMakespanSimulation:
         from repro.optimizer import Orca
 
         db = make_small_db(t1_rows=500, t2_rows=100)
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         result = orca.optimize(
             "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b AND t1.b > 5 "
             "ORDER BY t1.a"

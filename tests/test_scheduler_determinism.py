@@ -41,7 +41,7 @@ def _optimize(db, sql, workers, pruning=True):
     config = OptimizerConfig(
         segments=8, workers=workers, enable_cost_bound_pruning=pruning
     )
-    return Orca(db, config).optimize(sql)
+    return Orca(db, config=config).optimize(sql)
 
 
 @PRUNING

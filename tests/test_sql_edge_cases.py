@@ -24,7 +24,7 @@ def db():
 
 @pytest.fixture(scope="module")
 def orca(db):
-    return Orca(db, OptimizerConfig(segments=8))
+    return Orca(db, config=OptimizerConfig(segments=8))
 
 
 def run(db, orca, sql):
@@ -89,7 +89,7 @@ class TestEdgeCases:
         db.create_table(Table("n", [Column("v", INT), Column("w", INT)]))
         db.insert("n", [(1, 1), (None, 2), (3, 3), (None, 4)])
         db.analyze()
-        orca = Orca(db, OptimizerConfig(segments=4))
+        orca = Orca(db, config=OptimizerConfig(segments=4))
         out = run(db, orca, "SELECT count(*), count(v) FROM n")
         assert out.rows == [(4, 2)]
 
@@ -154,7 +154,7 @@ class TestFailureInjection:
         config = OptimizerConfig(segments=8).with_disabled(
             "Get2TableScan", "Get2IndexScan"
         )
-        orca = Orca(db, config)
+        orca = Orca(db, config=config)
         with pytest.raises((NoPlanError, OptimizerError)):
             orca.optimize("SELECT a FROM t1")
 
@@ -162,7 +162,7 @@ class TestFailureInjection:
         config = OptimizerConfig(segments=8).with_disabled(
             "InnerJoin2HashJoin", "InnerJoin2NLJoin", "InnerJoin2MergeJoin"
         )
-        orca = Orca(db, config)
+        orca = Orca(db, config=config)
         with pytest.raises((NoPlanError, OptimizerError)):
             orca.optimize("SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b")
 
@@ -170,7 +170,7 @@ class TestFailureInjection:
         for rule in ("InnerJoin2HashJoin", "InnerJoin2NLJoin",
                      "InnerJoin2MergeJoin"):
             config = OptimizerConfig(segments=8).with_disabled(rule)
-            orca = Orca(db, config)
+            orca = Orca(db, config=config)
             result = orca.optimize(
                 "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b"
             )
@@ -193,7 +193,7 @@ class TestPredicateDifferential:
         db = getattr(self, "_db", None)
         if db is None:
             db = self.__class__._db = make_small_db(t1_rows=400, t2_rows=50)
-            self.__class__._orca = Orca(db, OptimizerConfig(segments=4))
+            self.__class__._orca = Orca(db, config=OptimizerConfig(segments=4))
         orca = self.__class__._orca
         sql = (
             f"SELECT a, b FROM t1 WHERE a {op1} {lit1} {conj} b {op2} {lit2}"

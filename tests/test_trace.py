@@ -142,7 +142,7 @@ class TestNullTracer:
 
     def test_untraced_optimization_carries_null_tracer(self):
         db = make_small_db(t1_rows=300, t2_rows=60)
-        result = Orca(db, OptimizerConfig(segments=4)).optimize(
+        result = Orca(db, config=OptimizerConfig(segments=4)).optimize(
             "SELECT a FROM t1 ORDER BY a LIMIT 5"
         )
         assert result.trace is NULL_TRACER
@@ -159,7 +159,7 @@ def traced_runs():
     runs = []
     for sql in TRACED_QUERIES:
         tracer = Tracer()
-        orca = Orca(db, OptimizerConfig(segments=8), tracer=tracer)
+        orca = Orca(db, config=OptimizerConfig(segments=8), tracer=tracer)
         result = orca.optimize(sql)
         out = Executor(cluster, tracer=tracer).execute(
             result.plan, result.output_cols
@@ -241,7 +241,7 @@ class TestAmpereTraceEmbedding:
         db = make_small_db(t1_rows=400, t2_rows=80)
         config = OptimizerConfig(segments=4)
         tracer = Tracer()
-        result = Orca(db, config, tracer=tracer).optimize(
+        result = Orca(db, config=config, tracer=tracer).optimize(
             "SELECT a FROM t1 WHERE b > 3 ORDER BY a LIMIT 10"
         )
         dump = capture_dump(

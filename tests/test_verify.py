@@ -36,7 +36,7 @@ def db():
 
 @pytest.fixture(scope="module")
 def optimized(db):
-    orca = Orca(db, OptimizerConfig(segments=8))
+    orca = Orca(db, config=OptimizerConfig(segments=8))
     sql = "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b AND t1.b > 40 ORDER BY t1.a"
     result = orca.optimize(sql)
     req = RequiredProps(
@@ -113,7 +113,7 @@ class TestAMPERe:
             "WITH v AS (SELECT c, count(*) AS n FROM t1 GROUP BY c) "
             "SELECT v1.c FROM v v1, v v2 WHERE v1.n = v2.n"
         )
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         result = orca.optimize(sql)
         dump = capture_dump(
             db, sql, OptimizerConfig(segments=8), expected_plan=result.plan
@@ -199,7 +199,7 @@ class TestCardinalityFramework:
         assert q_error(0, 0) == 1.0
 
     def test_report_from_execution(self, db):
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         result = orca.optimize("SELECT a FROM t1 WHERE b > 50")
         out = Executor(Cluster(db, segments=8)).execute(
             result.plan, result.output_cols
@@ -210,7 +210,7 @@ class TestCardinalityFramework:
         assert report.worst(2)
 
     def test_estimates_good_on_histogrammed_filters(self, db):
-        orca = Orca(db, OptimizerConfig(segments=8))
+        orca = Orca(db, config=OptimizerConfig(segments=8))
         result = orca.optimize(
             "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b AND t1.b > 40"
         )

@@ -82,7 +82,7 @@ class TestData:
 class TestQuerySuite:
     def test_orca_and_planner_agree(self, tpcds_db, query):
         config = OptimizerConfig(segments=8)
-        orca_result = Orca(tpcds_db, config).optimize(query.sql)
+        orca_result = Orca(tpcds_db, config=config).optimize(query.sql)
         planner_result = LegacyPlanner(tpcds_db, config).optimize(query.sql)
         cluster = Cluster(tpcds_db, segments=8)
         orca_out = Executor(cluster).execute(
