@@ -12,8 +12,12 @@ too noisy for a hard time gate, while job/Memo counts are fully
 deterministic.  Usage::
 
     PYTHONPATH=src python benchmarks/bench_report.py \
-        --out BENCH_2026-08-06.json \
+        --out benchmarks/history/BENCH_2026-08-06.json \
         --baseline benchmarks/baseline_bench.json
+
+Reports land in ``benchmarks/history/`` (the parent directory is
+created on demand) so the trajectory of snapshots is committed to the
+repo rather than evaporating with the CI workspace.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import statistics
 import sys
 
@@ -145,6 +150,9 @@ def main(argv=None) -> int:
         "queries": len(QUERIES),
         "metrics": metrics,
     }
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(report, f, indent=2)
         f.write("\n")

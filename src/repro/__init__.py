@@ -42,6 +42,7 @@ from repro.errors import (
     ParseError,
     ReproError,
     SearchTimeout,
+    TelemetryError,
     TranslationError,
 )
 from repro.gpos.governor import ResourceGovernor
@@ -61,9 +62,16 @@ from repro.service import (
     SessionPool,
     connect,
 )
+from repro.telemetry import (
+    MetricsRegistry,
+    NullMetricsRegistry,
+    PlanAnalysis,
+    QueryStats,
+    QueryStatsStore,
+)
 from repro.trace import NullTracer, TraceEvent, Tracer
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     # Session facade (stable public API)
@@ -104,5 +112,12 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "TraceEvent",
+    # Telemetry (fleet observability)
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "PlanAnalysis",
+    "QueryStats",
+    "QueryStatsStore",
+    "TelemetryError",
     "__version__",
 ]

@@ -7,6 +7,8 @@ Usage (against the built-in TPC-DS workload)::
     python -m repro explain ... --planner          # legacy Planner plan
     python -m repro memo "SELECT ..."              # dump the Memo
     python -m repro dump-metadata catalog.dxl      # export metadata as DXL
+    python -m repro explain ... --analyze          # EXPLAIN ANALYZE
+    python -m repro stats                          # fleet query statistics
     python -m repro capture dump.dxl "SELECT ..."  # AMPERe capture
     python -m repro replay dump.dxl                # AMPERe offline replay
     python -m repro support                        # Figure 15 counts
@@ -217,7 +219,17 @@ def cmd_explain(args) -> int:
     note = _plan_source_note(result)
     if note:
         print(note)
-    print(result.explain())
+    if getattr(args, "analyze", False):
+        # EXPLAIN ANALYZE: execute the plan and annotate every node with
+        # the actual rows / work / network bytes next to the estimates.
+        from repro.telemetry import analyze_execution
+
+        cluster = Cluster(db, segments=args.segments)
+        out = analyze_execution(result.plan, cluster, result.output_cols)
+        print(out.analysis.render())
+        print(out.analysis.summary())
+    else:
+        print(result.explain())
     _emit_trace(args, tracer)
     return 0
 
@@ -262,6 +274,50 @@ def cmd_run(args) -> int:
     if note:
         print(note)
     _emit_trace(args, tracer)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Run the TPC-DS corpus through a governed, telemetry-instrumented
+    session pool and report per-query statistics plus the fleet metrics."""
+    from repro.service import SessionPool
+    from repro.telemetry import parse_prometheus
+    from repro.workloads import QUERIES
+
+    db = build_populated_db(scale=args.scale, seed=args.seed)
+    config = _config(args)
+    pool = SessionPool(
+        db,
+        max_sessions=args.max_sessions,
+        config=config,
+        fallback=not getattr(args, "no_fallback", False),
+    )
+    with pool:
+        for query in QUERIES[: args.queries] if args.queries else QUERIES:
+            try:
+                if args.execute:
+                    with pool.session() as s:
+                        s.execute(query.sql, analyze=True)
+                else:
+                    pool.optimize(query.sql)
+            except ReproError as exc:
+                print(f"-- {query.id}: error [{exc.code}]: {exc}",
+                      file=sys.stderr)
+    print(pool.stats_store.render(limit=args.top))
+    print()
+    print(pool.telemetry.summary())
+    exposition = pool.prometheus()
+    # Validate before anyone scrapes it: a malformed exposition format is
+    # an error (CI fails the build on it), not a warning.
+    parse_prometheus(exposition)
+    if args.prometheus_out:
+        with open(args.prometheus_out, "w", encoding="utf-8") as f:
+            f.write(exposition)
+        print(f"\nPrometheus exposition written to {args.prometheus_out}")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            f.write(pool.telemetry.to_json(indent=2))
+        print(f"telemetry JSON snapshot written to {args.json_out}")
     return 0
 
 
@@ -330,6 +386,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("explain", help="print the optimized plan")
     p.add_argument("sql")
+    p.add_argument(
+        "--analyze", action="store_true",
+        help="execute the plan and annotate every node with actual "
+             "rows / work / network bytes (EXPLAIN ANALYZE)",
+    )
     _add_common(p)
     p.set_defaults(fn=cmd_explain)
 
@@ -343,6 +404,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-rows", type=int, default=25)
     _add_common(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "stats",
+        help="run the TPC-DS corpus through a governed session pool and "
+             "print pg_stat_statements-style query statistics + telemetry",
+    )
+    p.add_argument(
+        "--queries", type=int, default=None, metavar="N",
+        help="only run the first N corpus queries (default: all)",
+    )
+    p.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the N most-called queries",
+    )
+    p.add_argument(
+        "--max-sessions", type=int, default=2,
+        help="pool admission bound (default 2)",
+    )
+    p.add_argument(
+        "--execute", action="store_true",
+        help="also execute each query (adds simulated execution work "
+             "to the statistics)",
+    )
+    p.add_argument(
+        "--prometheus-out", metavar="PATH", default=None,
+        help="write the metrics registry in Prometheus text exposition "
+             "format to PATH (validated before writing)",
+    )
+    p.add_argument(
+        "--json-out", metavar="PATH", default=None,
+        help="write the telemetry JSON snapshot to PATH",
+    )
+    _add_common(p)
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("dump-metadata", help="export catalog metadata to DXL")
     p.add_argument("path")

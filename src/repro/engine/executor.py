@@ -27,6 +27,8 @@ from repro.ops.logical import ApplyKind, JoinKind
 from repro.ops.scalar import AggFunc, ColRef, WindowFunc
 from repro.props.order import SortKey
 from repro.search.plan import PlanNode
+from repro.telemetry.analyze import PlanAnalysis
+from repro.telemetry.registry import NULL_METRICS
 from repro.trace import NULL_TRACER
 
 SEGMENTED, SINGLETON, REPLICATED = "segmented", "singleton", "replicated"
@@ -61,6 +63,9 @@ class ExecutionResult:
     rows: list[tuple]
     columns: list[ColRef]
     metrics: ExecutionMetrics
+    #: Per-node actuals, populated when executing with ``analyze=True``
+    #: (or when a telemetry registry is attached).
+    analysis: Optional[PlanAnalysis] = None
 
     def simulated_seconds(self) -> float:
         return self.metrics.simulated_seconds()
@@ -102,10 +107,12 @@ class Executor:
         per_op_startup_units: float = 0.0,
         materialize_output_factor: float = 0.0,
         tracer=None,
+        metrics_registry=None,
     ):
         self.cluster = cluster
         self.params = params or CostParams()
         self.tracer = tracer or NULL_TRACER
+        self.telemetry = metrics_registry or NULL_METRICS
         self.time_limit_seconds = time_limit_seconds
         #: When False, each re-execution of a correlated inner plan is
         #: charged in full even if its result was memoized (the legacy
@@ -117,6 +124,8 @@ class Executor:
         self.per_op_startup_units = per_op_startup_units
         self.materialize_output_factor = materialize_output_factor
         self.metrics = ExecutionMetrics(segments=cluster.segments)
+        self._analysis: Optional[PlanAnalysis] = None
+        self._collect = False
         self._param_env: dict[int, Any] = {}
         self._selector_values: dict[int, set] = {}
         self._wanted_selectors: set[int] = set()
@@ -124,11 +133,23 @@ class Executor:
 
     # ------------------------------------------------------------------
     def execute(
-        self, plan: PlanNode, output_cols: Optional[Sequence[ColRef]] = None
+        self,
+        plan: PlanNode,
+        output_cols: Optional[Sequence[ColRef]] = None,
+        *,
+        analyze: bool = False,
     ) -> ExecutionResult:
         self.metrics = ExecutionMetrics(
             segments=self.cluster.segments,
             time_limit_seconds=self.time_limit_seconds,
+        )
+        # Per-node actuals are collected for EXPLAIN ANALYZE and whenever
+        # a telemetry registry wants per-operator work attribution.
+        self._collect = analyze or self.telemetry.enabled
+        self._analysis = (
+            PlanAnalysis(plan=plan, segments=self.cluster.segments)
+            if self._collect
+            else None
         )
         self._selector_values = {}
         self._cte_store = {}
@@ -157,7 +178,32 @@ class Executor:
                 partitions_eliminated=self.metrics.partitions_eliminated,
                 subplan_executions=self.metrics.subplan_executions,
             )
-        return ExecutionResult(rows=rows, columns=cols, metrics=self.metrics)
+        if self.telemetry.enabled:
+            self._record_telemetry(plan, len(rows))
+        return ExecutionResult(
+            rows=rows, columns=cols, metrics=self.metrics,
+            analysis=self._analysis,
+        )
+
+    def _record_telemetry(self, plan: PlanNode, rows_out: int) -> None:
+        t = self.telemetry
+        m = self.metrics
+        t.inc("executor_queries_total")
+        t.inc("executor_rows_total", rows_out, kind="returned")
+        t.inc("executor_rows_total", m.rows_scanned, kind="scanned")
+        t.inc("executor_rows_total", m.rows_moved, kind="moved")
+        t.inc("executor_rows_total", m.rows_spilled, kind="spilled")
+        t.inc("executor_net_bytes_total", m.net_bytes)
+        t.observe("execution_seconds", m.simulated_seconds())
+        if self._analysis is not None:
+            t.observe("executor_segment_skew",
+                      self._analysis.stats_for(plan).skew())
+            for node in plan.walk():
+                stats = self._analysis.stats_for(node)
+                t.inc("executor_operator_work_units_total",
+                      self._analysis.exclusive_work(node), op=node.op.name)
+                t.inc("executor_operator_rows_total", stats.rows_out,
+                      op=node.op.name)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -167,11 +213,27 @@ class Executor:
         handler = self._HANDLERS.get(type(op))
         if handler is None:
             raise ExecutionError(f"no executor for operator {op!r}")
+        collect = self._collect
+        if collect:
+            # Inclusive work window: everything charged while this node
+            # (children included) runs is attributed to it; exclusive
+            # figures are derived later by subtracting child windows.
+            seg_before = list(self.metrics.segment_work)
+            master_before = self.metrics.master_work
+            net_before = self.metrics.net_bytes
         result: DRows = handler(self, node)
         self._charge_stage_overheads(result)
         self.metrics.cardinalities.append(
             (repr(op), node.rows_estimate, result.total_rows())
         )
+        if collect:
+            stats = self._analysis.stats_for(node)
+            for i in range(self.metrics.segments):
+                stats.seg_work[i] += self.metrics.segment_work[i] - seg_before[i]
+            stats.master_work += self.metrics.master_work - master_before
+            stats.net_bytes += self.metrics.net_bytes - net_before
+            stats.loops += 1
+            stats.rows_out += result.total_rows()
         if self.tracer.enabled:
             self.tracer.record(
                 "operator_executed",

@@ -207,6 +207,14 @@ class AdmissionError(OptimizerError):
     code = "ADMISSION"
 
 
+class TelemetryError(ReproError):
+    """Invalid telemetry usage: bad metric/label names, unbounded label
+    cardinality (e.g. raw SQL used as a label value), type conflicts, or
+    malformed Prometheus exposition output."""
+
+    code = "TELEMETRY"
+
+
 class OutOfMemoryError(ReproError):
     """Simulated executor exceeded its per-node working memory without spill.
 

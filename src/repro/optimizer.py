@@ -37,6 +37,8 @@ from repro.search.plan import PlanNode
 from repro.sql.ast import SelectStmt
 from repro.sql.parser import parse
 from repro.sql.translator import TranslatedQuery, Translator
+from repro.telemetry.analyze import PlanAnalysis
+from repro.telemetry.registry import NULL_METRICS
 from repro.trace import NULL_TRACER, NullTracer, Tracer
 from repro.xforms.normalization import preprocess
 
@@ -102,9 +104,24 @@ class OptimizationResult:
     #: Error code of the optimizer failure a session recovered from
     #: (``plan_source == "planner_fallback"`` only), else None.
     fallback_reason: Optional[str] = None
+    #: Per-node actuals from an ``analyze`` execution of this plan
+    #: (attached by ``Session.execute(..., analyze=True)``), else None.
+    analysis: Optional[PlanAnalysis] = None
 
-    def explain(self) -> str:
-        return self.plan.explain()
+    def explain(self, analyze: bool = False) -> str:
+        """Render the plan; with ``analyze=True``, annotate every node
+        with the actual rows / work / network bytes of an execution."""
+        if not analyze:
+            return self.plan.explain()
+        if self.analysis is None:
+            from repro.errors import OptimizerError
+
+            raise OptimizerError(
+                "no analysis attached: execute the plan with analyze=True "
+                "(e.g. Session.execute(sql, analyze=True) or "
+                "telemetry.analyze_execution) before explain(analyze=True)"
+            )
+        return f"{self.analysis.render()}\n{self.analysis.summary()}"
 
     # -- deprecated read-only aliases (pre-redesign flat counters) -------
     @property
@@ -164,11 +181,15 @@ class Orca:
         tracer: Optional[Tracer] = None,
         governor: Optional[ResourceGovernor] = None,
         faults=None,
+        metrics=None,
     ):
         self.catalog = catalog
         self.config = config or OptimizerConfig()
         self.cost_params = cost_params
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Fleet telemetry (repro.telemetry.MetricsRegistry); the shared
+        #: NULL_METRICS no-op when the session is un-instrumented.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         #: Cooperative resource governor.  An explicit instance is reused
         #: (and re-armed) across queries so per-session peaks accumulate;
         #: otherwise one is built from the config's limits, if any.
@@ -178,7 +199,11 @@ class Orca:
         #: Parameterized plan cache (Section 4.1 metadata versioning makes
         #: catalog-keyed invalidation safe); None when disabled.
         self.plan_cache: Optional[PlanCache] = (
-            PlanCache(self.config.plan_cache_size, tracer=self.tracer)
+            PlanCache(
+                self.config.plan_cache_size,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
             if self.config.enable_plan_cache
             else None
         )
@@ -236,6 +261,26 @@ class Orca:
                 )
         result.opt_time_seconds = time.perf_counter() - start
         return result
+
+    def _record_search_metrics(self, stats: SearchStats, timed_out: bool) -> None:
+        """Fold one search's effort counters into the fleet registry.
+
+        Recorded post-hoc from the already-maintained SearchStats so the
+        search itself runs the exact same instruction stream whether
+        telemetry is on or off (the determinism guarantee)."""
+        m = self.metrics
+        for kind, count in stats.kind_counts.items():
+            m.inc("scheduler_jobs_total", count, kind=kind)
+        m.inc("search_jobs_total", stats.jobs_executed)
+        m.inc("search_groups_total", stats.num_groups)
+        m.inc("search_gexprs_total", stats.num_gexprs)
+        m.inc("search_xforms_total", stats.xform_count)
+        m.inc("search_pruned_alternatives_total", stats.pruned_alternatives)
+        m.inc("search_costed_alternatives_total", stats.costed_alternatives)
+        m.inc("search_bound_redos_total", stats.bound_redos)
+        m.set_gauge("search_memory_bytes", stats.memory_bytes)
+        if timed_out:
+            m.inc("governor_trips_total", kind="deadline_partial")
 
     def _catalog_versions(self) -> tuple:
         """Per-table metadata versions; any DDL/ANALYZE changes the cache
@@ -341,6 +386,8 @@ class Orca:
         stats.num_groups = memo.num_groups()
         stats.num_gexprs = memo.num_gexprs()
         root_stats = memo.root_group().stats
+        if self.metrics.enabled:
+            self._record_search_metrics(stats, timed_out)
         return OptimizationResult(
             plan=plan,
             plan_source="orca_partial" if timed_out else "orca",

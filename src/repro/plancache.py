@@ -48,6 +48,7 @@ from repro.ops.physical import PhysicalIndexScan
 from repro.ops.scalar import ColRef, InList, Literal, ScalarExpr
 from repro.search.plan import PlanNode
 from repro.sql.ast import EIn, ELiteral
+from repro.telemetry.registry import NULL_METRICS
 from repro.trace import NULL_TRACER
 
 #: Marker standing in for one parameterized literal in a fingerprint.
@@ -197,9 +198,10 @@ class CacheHit:
 class PlanCache:
     """LRU cache of optimized plans keyed by normalized query shape."""
 
-    def __init__(self, capacity: int = 64, tracer=None):
+    def __init__(self, capacity: int = 64, tracer=None, metrics=None):
         self.capacity = max(capacity, 1)
         self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -219,6 +221,8 @@ class PlanCache:
         if entry.params == params:
             self._entries.move_to_end(key)
             self.hits += 1
+            if self.metrics.enabled:
+                self.metrics.inc("plan_cache_events_total", event="hit")
             if self.tracer.enabled:
                 self.tracer.record(
                     "plan_cache_hit", key=hash(key), rebound=False
@@ -238,6 +242,9 @@ class PlanCache:
         self._entries.move_to_end(key)
         self.hits += 1
         self.rebinds += 1
+        if self.metrics.enabled:
+            self.metrics.inc("plan_cache_events_total", event="hit")
+            self.metrics.inc("plan_cache_events_total", event="rebind")
         if self.tracer.enabled:
             self.tracer.record("plan_cache_hit", key=hash(key), rebound=True)
         return CacheHit(
@@ -269,11 +276,15 @@ class PlanCache:
         )
         self._entries.move_to_end(key)
         self.stores += 1
+        if self.metrics.enabled:
+            self.metrics.inc("plan_cache_events_total", event="store")
         if self.tracer.enabled:
             self.tracer.record("plan_cache_store", key=hash(key))
         while len(self._entries) > self.capacity:
             evicted, _ = self._entries.popitem(last=False)
             self.evictions += 1
+            if self.metrics.enabled:
+                self.metrics.inc("plan_cache_events_total", event="evict")
             if self.tracer.enabled:
                 self.tracer.record("plan_cache_evict", key=hash(evicted))
 
@@ -299,6 +310,8 @@ class PlanCache:
     # ------------------------------------------------------------------
     def _miss(self, key: tuple) -> None:
         self.misses += 1
+        if self.metrics.enabled:
+            self.metrics.inc("plan_cache_events_total", event="miss")
         if self.tracer.enabled:
             self.tracer.record("plan_cache_miss", key=hash(key))
         return None

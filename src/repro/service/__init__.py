@@ -7,7 +7,9 @@ faults, bounded session concurrency, and a deterministic fault-injection
 harness to prove all of it under test.
 
 Entry points: :func:`repro.connect` / :class:`Session` for one governed
-session, :class:`SessionPool` for admission-controlled concurrency, and
+session, :class:`SessionPool` for admission-controlled concurrency
+(pooled sessions share one :class:`repro.telemetry.MetricsRegistry` and
+one :class:`repro.telemetry.QueryStatsStore`), and
 :mod:`repro.service.faults` for the resilience harness.
 """
 

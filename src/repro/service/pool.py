@@ -7,8 +7,12 @@ calls block up to an admission timeout and then fail with a typed
 :class:`repro.errors.AdmissionError` instead of queueing unboundedly.
 
 Sessions are recycled — a released session goes back to the free list
-with its plan cache warm and its metrics accumulating — so the pool's
-:meth:`metrics` is also where per-session counters are read out.
+with its plan cache warm and its metrics accumulating.  All sessions
+share one pool-wide :class:`repro.telemetry.MetricsRegistry` (exposed as
+:attr:`SessionPool.telemetry`, the fleet's scrape target) and one
+:class:`repro.telemetry.QueryStatsStore`; the legacy per-session dict of
+:meth:`metrics` is kept as a deprecated alias and is now *derived from*
+the registry for the pool-level counters.
 """
 
 from __future__ import annotations
@@ -22,6 +26,8 @@ from repro.catalog.database import Database
 from repro.config import OptimizerConfig
 from repro.errors import AdmissionError, OptimizerError
 from repro.service.session import Session
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.stats_store import QueryStatsStore
 
 #: Session constructor keywords; everything else passed to the pool is
 #: treated as an :class:`OptimizerConfig` field (mirrors ``connect``).
@@ -40,6 +46,8 @@ class SessionPool:
         *,
         max_sessions: int = 4,
         admission_timeout_seconds: Optional[float] = None,
+        telemetry: Optional[MetricsRegistry] = None,
+        stats_store: Optional[QueryStatsStore] = None,
         **session_kwargs,
     ):
         if max_sessions < 1:
@@ -47,6 +55,15 @@ class SessionPool:
         self.catalog = catalog
         self.max_sessions = max_sessions
         self.admission_timeout_seconds = admission_timeout_seconds
+        #: The pool-wide metrics registry every session records into.
+        #: Always a real (enabled) registry — pass a shared one to merge
+        #: several pools into a single scrape target.
+        self.telemetry = telemetry if telemetry is not None \
+            else MetricsRegistry()
+        #: Shared pg_stat_statements-style per-query aggregates.
+        self.stats_store = stats_store if stats_store is not None \
+            else QueryStatsStore()
+        self.telemetry.set_gauge("pool_max_sessions", max_sessions)
         config_kwargs = {
             k: session_kwargs.pop(k)
             for k in list(session_kwargs)
@@ -88,20 +105,28 @@ class SessionPool:
         if not admitted:
             with self._lock:
                 self.rejected += 1
+                self.telemetry.inc("pool_admissions_total", outcome="rejected")
             raise AdmissionError(
                 f"session pool full ({self.max_sessions} concurrent "
                 f"sessions); admission timed out"
             )
         with self._lock:
             self.admitted += 1
+            self.telemetry.inc("pool_admissions_total", outcome="admitted")
             if self._idle:
-                return self._idle.pop()
-            session = Session(
-                self.catalog,
-                name=f"session-{len(self._sessions)}",
-                **self._session_kwargs,
+                session = self._idle.pop()
+            else:
+                session = Session(
+                    self.catalog,
+                    name=f"session-{len(self._sessions)}",
+                    telemetry=self.telemetry,
+                    stats_store=self.stats_store,
+                    **self._session_kwargs,
+                )
+                self._sessions.append(session)
+            self.telemetry.set_gauge(
+                "pool_active_sessions", len(self._sessions) - len(self._idle)
             )
-            self._sessions.append(session)
             return session
 
     def release(self, session: Session) -> None:
@@ -111,6 +136,9 @@ class SessionPool:
                     "released a session this pool does not own"
                 )
             self._idle.append(session)
+            self.telemetry.set_gauge(
+                "pool_active_sessions", len(self._sessions) - len(self._idle)
+            )
         self._slots.release()
 
     @contextmanager
@@ -141,16 +169,36 @@ class SessionPool:
             return len(self._sessions) - len(self._idle)
 
     def metrics(self) -> dict:
+        """Deprecated alias: the legacy per-session metrics dict.
+
+        Pool-level counters are now routed through :attr:`telemetry`
+        (the :class:`~repro.telemetry.registry.MetricsRegistry`); this
+        dict is derived from it and kept shape-stable for one release —
+        read :meth:`prometheus` / ``telemetry.snapshot()`` instead.
+        """
         with self._lock:
+            t = self.telemetry
             return {
-                "max_sessions": self.max_sessions,
-                "admitted": self.admitted,
-                "rejected": self.rejected,
+                "max_sessions": int(t.value("pool_max_sessions")),
+                "admitted": int(
+                    t.value("pool_admissions_total", outcome="admitted")
+                ),
+                "rejected": int(
+                    t.value("pool_admissions_total", outcome="rejected")
+                ),
                 "active": len(self._sessions) - len(self._idle),
                 "sessions": {
                     s.name: s.metrics.as_dict() for s in self._sessions
                 },
             }
+
+    def prometheus(self) -> str:
+        """The pool's registry in Prometheus text exposition format."""
+        return self.telemetry.to_prometheus()
+
+    def query_stats(self):
+        """Per-query aggregates, most-called first (pg_stat_statements)."""
+        return self.stats_store.entries()
 
     def close(self) -> None:
         with self._lock:

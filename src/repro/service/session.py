@@ -41,6 +41,8 @@ from repro.errors import (
 from repro.optimizer import OptimizationResult, Orca
 from repro.planner import LegacyPlanner
 from repro.sql.ast import SelectStmt
+from repro.telemetry.registry import NULL_METRICS
+from repro.telemetry.stats_store import QueryStatsStore
 from repro.trace import Tracer
 
 
@@ -97,6 +99,8 @@ class Session:
         max_retries: int = 0,
         retry_backoff_seconds: float = 0.0,
         name: str = "session",
+        telemetry=None,
+        stats_store: Optional[QueryStatsStore] = None,
     ):
         self.catalog = catalog
         self.config = config or OptimizerConfig()
@@ -105,6 +109,11 @@ class Session:
         self.retry_backoff_seconds = retry_backoff_seconds
         self.name = name
         self.metrics = SessionMetrics()
+        #: Fleet-wide metrics registry (repro.telemetry.MetricsRegistry),
+        #: shared across sessions when pooled; NULL_METRICS when off.
+        self.telemetry = telemetry if telemetry is not None else NULL_METRICS
+        #: pg_stat_statements-style per-query aggregates, or None.
+        self.stats_store = stats_store
         self.closed = False
         self._orca = Orca(
             catalog,
@@ -112,6 +121,7 @@ class Session:
             cost_params=cost_params,
             tracer=tracer,
             faults=faults,
+            metrics=self.telemetry,
         )
         self._cluster: Optional[Cluster] = None
         #: The most recent OptimizationResult (set by optimize/execute).
@@ -144,10 +154,12 @@ class Session:
         while True:
             try:
                 result = self._orca.optimize(sql_or_stmt)
-            except ParseError:
+            except ParseError as exc:
                 # The Planner shares the SQL frontend: fallback cannot
                 # produce a plan for a query that does not parse/bind.
                 self.metrics.errors += 1
+                if self.telemetry.enabled:
+                    self.telemetry.inc("session_errors_total", code=exc.code)
                 raise
             except ReproError as exc:
                 if (
@@ -156,6 +168,10 @@ class Session:
                 ):
                     attempt += 1
                     self.metrics.retries += 1
+                    if self.telemetry.enabled:
+                        self.telemetry.inc(
+                            "session_retries_total", code=exc.code
+                        )
                     if self.tracer.enabled:
                         self.tracer.record(
                             "retry", attempt=attempt, code=exc.code
@@ -167,39 +183,89 @@ class Session:
                     continue
                 if isinstance(exc, SearchTimeout):
                     self.metrics.timeouts += 1
+                    if self.telemetry.enabled:
+                        self.telemetry.inc(
+                            "governor_trips_total", kind="deadline"
+                        )
                 elif isinstance(exc, MemoryQuotaExceeded):
                     self.metrics.quota_trips += 1
+                    if self.telemetry.enabled:
+                        self.telemetry.inc(
+                            "governor_trips_total", kind="memory_quota"
+                        )
                 if not self.fallback:
                     self.metrics.errors += 1
+                    if self.telemetry.enabled:
+                        self.telemetry.inc(
+                            "session_errors_total", code=exc.code
+                        )
                     raise
                 result = self._fall_back(sql_or_stmt, exc)
             if result.plan_source == "orca_partial":
                 self.metrics.timeouts += 1
             self.metrics.record(result)
+            if self.telemetry.enabled:
+                self.telemetry.inc(
+                    "queries_total", plan_source=result.plan_source
+                )
+                self.telemetry.observe(
+                    "optimization_seconds", result.opt_time_seconds
+                )
+            if self.stats_store is not None:
+                self.stats_store.record_optimization(sql_or_stmt, result)
             self.last_result = result
             return result
 
-    def explain(self, sql_or_stmt: Union[str, SelectStmt]) -> str:
-        """Optimize and render the plan tree (annotated with its source)."""
-        result = self.optimize(sql_or_stmt)
+    def explain(
+        self, sql_or_stmt: Union[str, SelectStmt], analyze: bool = False
+    ) -> str:
+        """Optimize and render the plan tree (annotated with its source).
+
+        With ``analyze=True``, the plan is also *executed* and every node
+        annotated with actual rows / work / network bytes next to the
+        optimizer's estimates (EXPLAIN ANALYZE)."""
+        if analyze:
+            self.execute(sql_or_stmt, analyze=True)
+            result = self.last_result
+        else:
+            result = self.optimize(sql_or_stmt)
         header = f"-- plan source: {result.plan_source}"
         if result.fallback_reason:
             header += f" (after {result.fallback_reason})"
-        return f"{header}\n{result.explain()}"
+        return f"{header}\n{result.explain(analyze=analyze)}"
 
-    def execute(self, sql_or_stmt: Union[str, SelectStmt]) -> ExecutionResult:
-        """Optimize and run on the session's simulated cluster."""
+    def execute(
+        self,
+        sql_or_stmt: Union[str, SelectStmt],
+        analyze: bool = False,
+    ) -> ExecutionResult:
+        """Optimize and run on the session's simulated cluster.
+
+        ``analyze=True`` collects per-node actuals into
+        ``result.analysis`` (also attached to ``session.last_result``)."""
         result = self.optimize(sql_or_stmt)
         if self._cluster is None:
             self._cluster = Cluster(self.catalog, segments=self.config.segments)
-        executor = Executor(self._cluster, tracer=self._orca.tracer)
-        return executor.execute(result.plan, result.output_cols)
+        executor = Executor(
+            self._cluster,
+            tracer=self._orca.tracer,
+            metrics_registry=self.telemetry,
+        )
+        execution = executor.execute(
+            result.plan, result.output_cols, analyze=analyze
+        )
+        result.analysis = execution.analysis
+        if self.stats_store is not None:
+            self.stats_store.record_execution(sql_or_stmt, execution)
+        return execution
 
     # ------------------------------------------------------------------
     def _fall_back(
         self, sql_or_stmt: Union[str, SelectStmt], original: ReproError
     ) -> OptimizationResult:
         self.metrics.fallbacks += 1
+        if self.telemetry.enabled:
+            self.telemetry.inc("session_fallbacks_total", reason=original.code)
         if self.tracer.enabled:
             self.tracer.record(
                 "fallback", reason=original.code, error=str(original)
@@ -250,6 +316,8 @@ def connect(
     max_retries: int = 0,
     retry_backoff_seconds: float = 0.0,
     name: str = "session",
+    telemetry=None,
+    stats_store: Optional[QueryStatsStore] = None,
     **config_kwargs,
 ) -> Session:
     """Open a governed optimizer session — the stable public entry point.
@@ -273,4 +341,6 @@ def connect(
         max_retries=max_retries,
         retry_backoff_seconds=retry_backoff_seconds,
         name=name,
+        telemetry=telemetry,
+        stats_store=stats_store,
     )

@@ -48,6 +48,9 @@ class AMPEReDump:
     #: JSON dump of the capturing session's structured trace
     #: (:meth:`repro.trace.Tracer.to_json`), when one was collected.
     trace_json: Optional[str] = None
+    #: JSON snapshot of the capturing session's telemetry registry
+    #: (:meth:`repro.telemetry.MetricsRegistry.to_json`), when attached.
+    metrics_json: Optional[str] = None
 
     # ------------------------------------------------------------------
     def to_xml(self) -> ET.Element:
@@ -74,6 +77,9 @@ class AMPEReDump:
         if self.trace_json:
             trace = ET.SubElement(thread, "OptimizerTrace")
             trace.text = self.trace_json
+        if self.metrics_json:
+            snapshot = ET.SubElement(thread, "TelemetrySnapshot")
+            snapshot.text = self.metrics_json
         return root
 
     def to_string(self) -> str:
@@ -109,6 +115,7 @@ class AMPEReDump:
             plan_wrapper = ET.Element("DXLMessage")
             plan_wrapper.append(plan)
         trace_elem = thread.find("OptimizerTrace")
+        metrics_elem = thread.find("TelemetrySnapshot")
         return cls(
             query_xml=wrapper,
             metadata_xml=metadata,
@@ -117,6 +124,9 @@ class AMPEReDump:
             stacktrace=st.text if st is not None else None,
             expected_plan_xml=plan_wrapper,
             trace_json=trace_elem.text if trace_elem is not None else None,
+            metrics_json=(
+                metrics_elem.text if metrics_elem is not None else None
+            ),
         )
 
     @classmethod
@@ -134,6 +144,7 @@ def capture_dump(
     exception: Optional[BaseException] = None,
     expected_plan: Optional[PlanNode] = None,
     trace=None,
+    metrics=None,
 ) -> AMPEReDump:
     """Capture a minimal repro for a query.
 
@@ -179,11 +190,18 @@ def capture_dump(
         trace_json=(
             trace.to_json() if trace is not None and trace.enabled else None
         ),
+        metrics_json=(
+            metrics.to_json()
+            if metrics is not None and metrics.enabled
+            else None
+        ),
     )
 
 
 def replay_dump(
-    dump: AMPEReDump, config: Optional[OptimizerConfig] = None
+    dump: AMPEReDump,
+    config: Optional[OptimizerConfig] = None,
+    metrics=None,
 ) -> OptimizationResult:
     """Replay a dump offline: rebuild metadata, re-run the optimization.
 
@@ -217,7 +235,7 @@ def replay_dump(
         required_sort=required_sort,
         cte_defs=cte_defs,
     )
-    orca = Orca(db, config=config)
+    orca = Orca(db, config=config, metrics=metrics)
     return orca.optimize_translated(query, factory)
 
 

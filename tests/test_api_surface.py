@@ -33,6 +33,9 @@ EXPECTED_ALL = frozenset({
     "FaultInjector", "FaultSpec",
     # tracing
     "Tracer", "NullTracer", "TraceEvent",
+    # telemetry (fleet observability)
+    "MetricsRegistry", "NullMetricsRegistry", "PlanAnalysis",
+    "QueryStats", "QueryStatsStore", "TelemetryError",
     "__version__",
 })
 

@@ -1,0 +1,136 @@
+"""The pg_stat_statements-style query-statistics store."""
+
+from __future__ import annotations
+
+import repro
+from repro.__main__ import main
+from repro.telemetry import (
+    QueryStatsStore,
+    fingerprint_query,
+    normalize_sql,
+)
+
+
+class TestNormalization:
+    def test_literals_become_placeholders(self):
+        assert normalize_sql(
+            "SELECT t1.a FROM t1 WHERE t1.b > 40 AND t1.c = 'xyz'"
+        ) == "SELECT t1.a FROM t1 WHERE t1.b > ? AND t1.c = ?"
+
+    def test_whitespace_collapsed(self):
+        assert normalize_sql("SELECT  a\n  FROM   t") == "SELECT a FROM t"
+
+    def test_doubled_quotes_stay_inside_one_literal(self):
+        assert normalize_sql("SELECT a FROM t WHERE c = 'it''s'") == \
+            "SELECT a FROM t WHERE c = ?"
+
+    def test_constants_share_a_fingerprint(self):
+        fp1, norm1 = fingerprint_query("SELECT a FROM t WHERE b > 40")
+        fp2, norm2 = fingerprint_query("SELECT a FROM t  WHERE b > 99")
+        assert fp1 == fp2
+        assert norm1 == norm2
+
+    def test_different_shapes_differ(self):
+        fp1, _ = fingerprint_query("SELECT a FROM t WHERE b > 40")
+        fp2, _ = fingerprint_query("SELECT a FROM t WHERE c > 40")
+        assert fp1 != fp2
+
+
+class _FakeResult:
+    def __init__(self, plan_source="orca", opt_time_seconds=0.01):
+        self.plan_source = plan_source
+        self.opt_time_seconds = opt_time_seconds
+
+
+class TestAggregates:
+    def test_optimizations_aggregate_under_one_fingerprint(self):
+        store = QueryStatsStore()
+        store.record_optimization(
+            "SELECT a FROM t WHERE b > 1", _FakeResult(opt_time_seconds=0.01)
+        )
+        store.record_optimization(
+            "SELECT a FROM t WHERE b > 2",
+            _FakeResult(plan_source="cache", opt_time_seconds=0.03),
+        )
+        assert len(store) == 1
+        stats = store.lookup("SELECT a FROM t WHERE b > 3")
+        assert stats.calls == 2
+        assert stats.plan_sources == {"orca": 1, "cache": 1}
+        assert stats.cache_hits == 1
+        assert stats.mean_opt_seconds == 0.02
+        assert stats.max_opt_seconds == 0.03
+
+    def test_least_called_eviction(self):
+        store = QueryStatsStore(max_entries=2)
+        for _ in range(3):
+            store.record_optimization("SELECT a FROM t", _FakeResult())
+        store.record_optimization("SELECT b FROM t", _FakeResult())
+        store.record_optimization("SELECT c FROM t", _FakeResult())
+        assert len(store) == 2
+        assert store.evictions == 1
+        assert store.lookup("SELECT b FROM t") is None  # the least called
+        assert store.lookup("SELECT a FROM t").calls == 3
+
+    def test_entries_ranked_by_calls(self):
+        store = QueryStatsStore()
+        store.record_optimization("SELECT a FROM t", _FakeResult())
+        for _ in range(2):
+            store.record_optimization("SELECT b FROM t", _FakeResult())
+        entries = store.entries()
+        assert [e.calls for e in entries] == [2, 1]
+        assert entries[0].query == "SELECT b FROM t"
+
+    def test_render_table(self):
+        store = QueryStatsStore()
+        store.record_optimization("SELECT a FROM t WHERE b > 7", _FakeResult())
+        text = store.render()
+        assert "fingerprint" in text and "calls" in text
+        assert "SELECT a FROM t WHERE b > ?" in text
+        assert "(1 of 1 queries, 0 evicted)" in text
+
+
+class TestSessionIntegration:
+    def test_session_records_optimizations_and_executions(self, small_db):
+        store = QueryStatsStore()
+        session = repro.connect(
+            small_db, segments=4, enable_plan_cache=True, stats_store=store
+        )
+        session.optimize("SELECT t1.a FROM t1 WHERE t1.b > 40")
+        session.optimize("SELECT t1.a FROM t1 WHERE t1.b > 90")
+        execution = session.execute("SELECT t1.a FROM t1 WHERE t1.b > 90")
+        stats = store.lookup("SELECT t1.a FROM t1 WHERE t1.b > 0")
+        assert stats.calls == 3
+        assert stats.cache_hits >= 1
+        assert stats.executions == 1
+        assert stats.rows_returned == len(execution.rows)
+        assert stats.total_exec_work > 0
+
+    def test_pool_shares_one_store(self, small_db):
+        with repro.SessionPool(small_db, max_sessions=2, segments=4) as pool:
+            pool.optimize("SELECT t1.a FROM t1 WHERE t1.b > 40")
+            pool.optimize("SELECT t2.a FROM t2")
+            top = pool.query_stats()
+        assert len(top) == 2
+        assert all(e.calls == 1 for e in top)
+
+
+class TestStatsCli:
+    def test_stats_subcommand(self, capsys, tmp_path):
+        prom = tmp_path / "telemetry.prom"
+        js = tmp_path / "telemetry.json"
+        assert main([
+            "stats", "--queries", "3", "--execute",
+            "--scale", "0.05", "--segments", "4",
+            "--prometheus-out", str(prom), "--json-out", str(js),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out
+        assert "=== telemetry ===" in out
+        assert "repro_queries_total" in prom.read_text(encoding="utf-8")
+        assert '"families"' in js.read_text(encoding="utf-8")
+
+    def test_stats_optimize_only(self, capsys):
+        assert main(["stats", "--queries", "2",
+                     "--scale", "0.05", "--segments", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "orca" in out

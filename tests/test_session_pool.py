@@ -151,3 +151,44 @@ class TestPoolUsage:
         assert pool.metrics()["admitted"] == 6
         assert max(peak) <= 2
         assert len(pool.metrics()["sessions"]) <= 2
+
+
+class TestDeprecatedMetricsAlias:
+    """The legacy ``pool.metrics()`` dict is now derived from the
+    telemetry registry; its shape is pinned for one release."""
+
+    def test_top_level_keys_pinned(self, tpcds_db):
+        pool = SessionPool(tpcds_db, max_sessions=2, segments=4)
+        pool.optimize(SQL)
+        metrics = pool.metrics()
+        assert set(metrics) == {
+            "max_sessions", "admitted", "rejected", "active", "sessions",
+        }
+        assert set(metrics["sessions"]["session-0"]) == {
+            "queries", "plan_sources", "retries", "fallbacks",
+            "timeouts", "quota_trips", "errors", "total_opt_seconds",
+        }
+
+    def test_alias_agrees_with_registry(self, tpcds_db):
+        pool = SessionPool(tpcds_db, max_sessions=3, segments=4)
+        pool.optimize(SQL)
+        pool.optimize(SQL)
+        metrics = pool.metrics()
+        assert metrics["max_sessions"] == 3
+        assert metrics["admitted"] == 2
+        assert metrics["rejected"] == 0
+        assert metrics["admitted"] == int(
+            pool.telemetry.value("pool_admissions_total", outcome="admitted")
+        )
+
+    def test_registry_is_the_scrape_target(self, tpcds_db):
+        from repro.telemetry import parse_prometheus
+
+        pool = SessionPool(tpcds_db, max_sessions=2, segments=4)
+        pool.optimize(SQL)
+        parsed = parse_prometheus(pool.prometheus())
+        assert ({"outcome": "admitted"}, 1.0) in parsed[
+            "repro_pool_admissions_total"
+        ]
+        assert parsed["repro_pool_max_sessions"] == [({}, 2.0)]
+        assert ({"plan_source": "orca"}, 1.0) in parsed["repro_queries_total"]
