@@ -43,10 +43,21 @@ GATED_METRICS = {
     "pruning_job_savings": "lower_is_worse",
     "pruning_ratio": "lower_is_worse",
     "plan_cache_hit_rate": "lower_is_worse",
+    # Cache effectiveness counters (deterministic for a fresh process
+    # running this workload, which is how CI invokes this script).
+    "intern_hit_rate": "lower_is_worse",
+    "derivation_cache_hits": "lower_is_worse",
 }
 
-#: Reported for trend tracking, never gated.
-UNGATED_METRICS = ("avg_opt_time_seconds", "avg_memory_mb")
+#: Reported for trend tracking, never gated.  The speedup entries are
+#: merged in from a microbench report (``--microbench-report``) when one
+#: is available.
+UNGATED_METRICS = (
+    "avg_opt_time_seconds",
+    "avg_memory_mb",
+    "executor_speedup_geomean",
+    "end_to_end_speedup",
+)
 
 
 def run_workload(scale: float, segments: int) -> dict:
@@ -79,6 +90,11 @@ def run_workload(scale: float, segments: int) -> dict:
     )
     pruned_alts = sum(r.pruned_alternatives for r in rows)
     costed_alts = sum(r.costed_alternatives for r in rows)
+    # Interning / derivation-cache counters from the pruned pass.  These
+    # are deterministic because that pass is the first optimizer work in
+    # this process (the global intern table starts cold).
+    intern_hits = sum(r.search_stats.intern_hits for r in rows)
+    intern_misses = sum(r.search_stats.intern_misses for r in rows)
     return {
         "total_jobs": sum(r.jobs_executed for r in rows),
         "opt_gexpr_jobs": opt_jobs,
@@ -90,6 +106,12 @@ def run_workload(scale: float, segments: int) -> dict:
         ),
         "plan_cache_hit_rate": round(
             cache["hits"] / max(cache["hits"] + cache["misses"], 1), 4
+        ),
+        "intern_hit_rate": round(
+            intern_hits / max(intern_hits + intern_misses, 1), 4
+        ),
+        "derivation_cache_hits": sum(
+            r.search_stats.derivation_cache_hits for r in rows
         ),
         "avg_opt_time_seconds": round(
             statistics.mean(r.opt_time_seconds for r in rows), 4
@@ -121,7 +143,7 @@ def compare(metrics: dict, baseline: dict, threshold: float) -> list[str]:
                 f"threshold {threshold:.0%})"
             )
     for name in UNGATED_METRICS:
-        if name in base_metrics and name in metrics:
+        if base_metrics.get(name) is not None and metrics.get(name) is not None:
             base, now = float(base_metrics[name]), float(metrics[name])
             change = (now - base) / abs(base) if base else 0.0
             print(f"  {name:24s} {base:12.4f} -> {now:12.4f} "
@@ -140,9 +162,23 @@ def main(argv=None) -> int:
                         help="max tolerated relative regression (default 0.2)")
     parser.add_argument("--scale", type=float, default=0.1)
     parser.add_argument("--segments", type=int, default=8)
+    parser.add_argument(
+        "--microbench-report", default=None,
+        help="MICRO_*.json from microbench.py; its speedups are merged "
+             "into the report as ungated trend metrics",
+    )
     args = parser.parse_args(argv)
 
     metrics = run_workload(args.scale, args.segments)
+    if args.microbench_report:
+        with open(args.microbench_report, encoding="utf-8") as f:
+            micro = json.load(f)
+        metrics["executor_speedup_geomean"] = micro.get(
+            "operator_speedup_geomean"
+        )
+        metrics["end_to_end_speedup"] = micro.get(
+            "end_to_end", {}
+        ).get("speedup")
     report = {
         "date": datetime.date.today().isoformat(),
         "scale": args.scale,

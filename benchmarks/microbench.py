@@ -1,0 +1,270 @@
+"""Profiled microbenchmarks: batch executor vs row executor, optimizer caches.
+
+Times the hot paths this repo optimizes, in isolation:
+
+- **Executor operators**: each operator (filter, project, partial hash
+  aggregate, hash join) is timed on its own by pre-executing its children
+  once and stubbing their handlers, so the measurement covers only the
+  operator's work — expression evaluation, probing, folding — not the
+  shared scan/distribute cost.  Row mode (``batch_execution=False``) vs
+  batch mode, best-of-N.
+- **Optimizer phases**: optimize-only wall clock with the derivation/
+  property memos on vs off, plus the deterministic cache counters
+  (interning hit rate, derivation-cache hits) from
+  :class:`repro.optimizer.SearchStats`.
+- **End to end**: optimize+execute of the full TPC-DS workload, the
+  pre-overhaul configuration (row executor, no derivation cache) against
+  the default one.
+
+Results are JSON with per-case timings and speedups; wall-clock numbers
+are for trend tracking only (never CI-gated — runners are too noisy),
+while the cache counters are deterministic and gated by
+``bench_report.py``.  Usage::
+
+    PYTHONPATH=src python benchmarks/microbench.py \
+        --out benchmarks/history/MICRO_2026-08-06.json --profile
+
+``--profile`` additionally prints the top functions (cumulative time) of
+one batch-mode workload execution under :mod:`cProfile`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import math
+import os
+import time
+
+from repro.config import OptimizerConfig
+from repro.engine import Cluster, Executor
+from repro.optimizer import Orca
+from repro.workloads import QUERIES, build_populated_db
+
+#: name -> (SQL, physical operator names to look for).  The query is
+#: optimized normally; the *deepest* matching node is benchmarked (the
+#: one directly over the scan, where the row volume is largest).
+OPERATOR_CASES = {
+    "filter": (
+        "SELECT ss_quantity FROM store_sales "
+        "WHERE ss_quantity > 10 AND ss_sales_price > 50.0",
+        {"Filter"},
+    ),
+    "project": (
+        "SELECT ss_sales_price * ss_quantity + 1.0 FROM store_sales",
+        {"Project"},
+    ),
+    "hash_agg": (
+        "SELECT ss_store_sk, SUM(ss_sales_price), COUNT(*) "
+        "FROM store_sales GROUP BY ss_store_sk",
+        {"HashAgg", "StreamAgg"},
+    ),
+    "hash_join": (
+        "SELECT ss_item_sk FROM store_sales, item "
+        "WHERE ss_item_sk = i_item_sk",
+        {"HashJoin"},
+    ),
+}
+
+
+def _find_deepest(plan, names, best=None):
+    if plan.op.name in names:
+        best = plan
+    for child in plan.children:
+        found = _find_deepest(child, names, best)
+        if found is not None:
+            best = found
+    return best
+
+
+def _time_operator(cluster, node, batch: bool, repeats: int) -> float:
+    """Best-of-N seconds for one execution of ``node`` alone.
+
+    Children are executed once up front and their handlers replaced with
+    stubs returning the cached result, so repeated runs measure only the
+    operator under test.
+    """
+    ex = Executor(cluster, batch_execution=batch)
+    for child in node.children:
+        result = ex._exec(child)
+
+        def stub(s, n, _result=result, _child=child):
+            if n is _child:
+                return _result
+            return s._HANDLERS[type(n.op)](s, n)
+
+        ex._handlers = {**ex._handlers, type(child.op): stub}
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ex._exec(node)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_operators(db, segments: int, repeats: int) -> dict:
+    orca = Orca(db, config=OptimizerConfig(segments=segments))
+    cluster = Cluster(db, segments=segments)
+    out = {}
+    for name, (sql, op_names) in OPERATOR_CASES.items():
+        result = orca.optimize(sql)
+        node = _find_deepest(result.plan, op_names)
+        if node is None:
+            continue
+        # Warm both modes once (compiled-closure caches, column packing).
+        _time_operator(cluster, node, batch=False, repeats=1)
+        _time_operator(cluster, node, batch=True, repeats=1)
+        row_s = _time_operator(cluster, node, batch=False, repeats=repeats)
+        batch_s = _time_operator(cluster, node, batch=True, repeats=repeats)
+        out[name] = {
+            "operator": node.op.name,
+            "row_ms": round(row_s * 1000, 3),
+            "batch_ms": round(batch_s * 1000, 3),
+            "speedup": round(row_s / batch_s, 2),
+        }
+    return out
+
+
+def _run_workload(db, segments: int, *, batch: bool, derivation_cache: bool,
+                  execute: bool = True) -> float:
+    """One full pass over the workload; returns elapsed seconds."""
+    orca = Orca(db, config=OptimizerConfig(
+        segments=segments, enable_derivation_cache=derivation_cache,
+    ))
+    cluster = Cluster(db, segments=segments)
+    start = time.perf_counter()
+    for query in QUERIES:
+        result = orca.optimize(query.sql)
+        if execute:
+            Executor(cluster, batch_execution=batch).execute(
+                result.plan, result.output_cols
+            )
+    return time.perf_counter() - start
+
+
+def _best_of(fn, repeats: int) -> float:
+    return min(fn() for _ in range(repeats))
+
+
+def _cache_counters(db, segments: int) -> dict:
+    orca = Orca(db, config=OptimizerConfig(segments=segments))
+    stats = [orca.optimize(q.sql).search_stats for q in QUERIES]
+    hits = sum(s.intern_hits for s in stats)
+    misses = sum(s.intern_misses for s in stats)
+    return {
+        "intern_hits": hits,
+        "intern_misses": misses,
+        "intern_hit_rate": round(hits / max(hits + misses, 1), 4),
+        "derivation_cache_hits": sum(s.derivation_cache_hits for s in stats),
+        "property_cache_hits": sum(s.property_cache_hits for s in stats),
+    }
+
+
+def run_microbench(scale: float = 0.4, segments: int = 4,
+                   repeats: int = 3) -> dict:
+    """Run every microbenchmark; returns the report dict."""
+    db = build_populated_db(scale=scale)
+
+    operators = _bench_operators(db, segments, repeats=max(repeats, 3))
+    speedups = [case["speedup"] for case in operators.values()]
+    operator_geomean = round(
+        math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 2
+    ) if speedups else None
+
+    # Optimizer phases in isolation: optimize-only, memos off vs on.
+    _run_workload(db, segments, batch=True, derivation_cache=True,
+                  execute=False)  # warm
+    opt_base = _best_of(lambda: _run_workload(
+        db, segments, batch=True, derivation_cache=False, execute=False,
+    ), repeats)
+    opt_new = _best_of(lambda: _run_workload(
+        db, segments, batch=True, derivation_cache=True, execute=False,
+    ), repeats)
+
+    # End to end: the pre-overhaul configuration vs the default one.
+    e2e_base = _best_of(lambda: _run_workload(
+        db, segments, batch=False, derivation_cache=False,
+    ), repeats)
+    e2e_new = _best_of(lambda: _run_workload(
+        db, segments, batch=True, derivation_cache=True,
+    ), repeats)
+
+    return {
+        "scale": scale,
+        "segments": segments,
+        "queries": len(QUERIES),
+        "operators": operators,
+        "operator_speedup_geomean": operator_geomean,
+        "optimize_only": {
+            "baseline_s": round(opt_base, 3),
+            "optimized_s": round(opt_new, 3),
+            "speedup": round(opt_base / opt_new, 2),
+        },
+        "end_to_end": {
+            "baseline_s": round(e2e_base, 3),
+            "optimized_s": round(e2e_new, 3),
+            "speedup": round(e2e_base / e2e_new, 2),
+        },
+        "cache_counters": _cache_counters(db, segments),
+    }
+
+
+def _profile(scale: float, segments: int) -> None:
+    import cProfile
+    import pstats
+
+    db = build_populated_db(scale=scale)
+    _run_workload(db, segments, batch=True, derivation_cache=True)  # warm
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _run_workload(db, segments, batch=True, derivation_cache=True)
+    profiler.disable()
+    print("\ntop functions, one optimize+execute pass (batch mode):")
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(15)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="output JSON path")
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--segments", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--profile", action="store_true",
+                        help="also print a cProfile summary of the "
+                             "batch-mode workload")
+    args = parser.parse_args(argv)
+
+    report = run_microbench(args.scale, args.segments, args.repeats)
+    report["date"] = datetime.date.today().isoformat()
+
+    print("operator microbenchmarks (isolated, best-of-N):")
+    for name, case in report["operators"].items():
+        print(f"  {name:10s} {case['row_ms']:8.1f}ms -> "
+              f"{case['batch_ms']:8.1f}ms  ({case['speedup']:.2f}x)")
+    print(f"  geomean speedup: {report['operator_speedup_geomean']}x")
+    opt = report["optimize_only"]
+    e2e = report["end_to_end"]
+    print(f"optimize-only: {opt['baseline_s']}s -> {opt['optimized_s']}s "
+          f"({opt['speedup']}x)")
+    print(f"end-to-end:    {e2e['baseline_s']}s -> {e2e['optimized_s']}s "
+          f"({e2e['speedup']}x)")
+    for name, value in report["cache_counters"].items():
+        print(f"  {name:24s} {value}")
+
+    if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"microbenchmark report written to {args.out}")
+
+    if args.profile:
+        _profile(args.scale, args.segments)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

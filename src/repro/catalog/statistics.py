@@ -14,6 +14,7 @@ type.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from datetime import date
 from typing import Any, Iterable, Optional, Sequence
@@ -341,14 +342,43 @@ class Histogram:
                 out.append(Bucket(lo, hi, r1 * r2 / d, min(d1, d2)))
         return Histogram(buckets=tuple(out))
 
+    def _bounds_arrays(self) -> tuple[list[float], list[float]]:
+        """Cached (lo, hi) arrays for binary search; buckets are sorted
+        and non-overlapping, so both arrays are non-decreasing."""
+        arrays = self.__dict__.get("_bounds_cache")
+        if arrays is None:
+            arrays = (
+                [b.lo for b in self.buckets],
+                [b.hi for b in self.buckets],
+            )
+            # Frozen dataclass: cache through object.__setattr__ (the
+            # arrays are derived, not part of equality or hashing).
+            object.__setattr__(self, "_bounds_cache", arrays)
+        return arrays
+
     def _slice(self, lo: float, hi: float) -> tuple[float, float]:
-        """(rows, ndv) of this histogram restricted to [lo, hi)."""
+        """(rows, ndv) of this histogram restricted to [lo, hi).
+
+        Only buckets overlapping [lo, hi) can contribute; the rest add
+        exactly +0.0, so bisecting to the overlap range and summing the
+        same non-zero terms in the same order is float-identical to the
+        full scan.
+        """
         rows = 0.0
         ndv = 0.0
-        for b in self.buckets:
-            if b.width() == 0:
+        los, his = self._bounds_arrays()
+        start = bisect_right(his, lo)
+        end = bisect_left(los, hi)
+        for b in self.buckets[start:end]:
+            bw = b.hi - b.lo
+            if bw <= 0:
                 continue
-            frac = b.overlap_fraction(lo, hi)
+            inter = (b.hi if b.hi < hi else hi) - (b.lo if b.lo > lo else lo)
+            if inter <= 0:
+                continue
+            frac = inter / bw
+            if frac > 1.0:
+                frac = 1.0
             rows += b.rows * frac
             ndv += b.ndv * frac
         return rows, ndv

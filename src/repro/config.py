@@ -63,6 +63,17 @@ class OptimizerConfig:
     #: Off = exhaustive costing; the chosen plan's cost is identical either
     #: way, which is what makes pruning directly testable.
     enable_cost_bound_pruning: bool = True
+    #: Memoize pure derivation sub-results inside the search (delivered
+    #: properties, child request alternatives, operator cost floors).
+    #: Cached values are bit-identical to recomputation, so job counts
+    #: and plan choices do not change; off exists as a reference mode for
+    #: benchmarking the memoization itself.
+    enable_derivation_cache: bool = True
+    #: Execute physical plans over columnar batches (compiled vector
+    #: expressions) instead of row-at-a-time interpretation.  Results,
+    #: ExecutionMetrics and EXPLAIN ANALYZE are float-identical either
+    #: way; False keeps the row path as a reference mode.
+    batch_execution: bool = True
     #: Cache optimized plans keyed by (normalized-query fingerprint,
     #: config, catalog version); literals are parameter markers, so a
     #: repeated query shape skips search and re-binds parameters instead.

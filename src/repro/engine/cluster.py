@@ -17,11 +17,28 @@ from repro.catalog.database import Database
 DEFAULT_MEMORY_LIMIT = 64 * 1024 * 1024
 
 
+#: Memo for :func:`stable_hash`, keyed by (type, value) — ``repr`` is a
+#: pure function of both, and equal-but-distinct values (``1`` / ``1.0``
+#: / ``True``) must keep their distinct hashes.  Bounded so adversarial
+#: key domains cannot grow it without limit.
+_HASH_CACHE: dict = {}
+_HASH_CACHE_MAX = 1 << 20
+
+
 def stable_hash(value: Any) -> int:
     """Deterministic cross-process hash used for data distribution."""
     if value is None:
         return 0
-    return zlib.crc32(repr(value).encode("utf-8"))
+    try:
+        key = (value.__class__, value)
+        h = _HASH_CACHE.get(key)
+    except TypeError:  # unhashable value: compute directly
+        return zlib.crc32(repr(value).encode("utf-8"))
+    if h is None:
+        h = zlib.crc32(repr(value).encode("utf-8"))
+        if len(_HASH_CACHE) < _HASH_CACHE_MAX:
+            _HASH_CACHE[key] = h
+    return h
 
 
 def hash_bucket(values: Sequence[Any], segments: int) -> int:
@@ -47,12 +64,25 @@ class Cluster:
         self, rows: list[tuple], key_positions: Optional[Sequence[int]]
     ) -> list[list[tuple]]:
         """Split rows into per-segment buckets (hash or round-robin)."""
-        buckets: list[list[tuple]] = [[] for _ in range(self.segments)]
+        segments = self.segments
+        if segments == 1:
+            # Both routing schemes map every row to bucket 0.
+            return [list(rows)]
+        buckets: list[list[tuple]] = [[] for _ in range(segments)]
         if key_positions:
-            for row in rows:
-                key = [row[p] for p in key_positions]
-                buckets[hash_bucket(key, self.segments)].append(row)
+            if len(key_positions) == 1:
+                # hash_bucket([v], s) reduces to stable_hash(v) % s:
+                # crc32 already fits 32 bits, so the mixing step is the
+                # identity for a single key.
+                p = key_positions[0]
+                sh = stable_hash
+                for row in rows:
+                    buckets[sh(row[p]) % segments].append(row)
+            else:
+                for row in rows:
+                    key = [row[p] for p in key_positions]
+                    buckets[hash_bucket(key, segments)].append(row)
         else:
             for i, row in enumerate(rows):
-                buckets[i % self.segments].append(row)
+                buckets[i % segments].append(row)
         return buckets

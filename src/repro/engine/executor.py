@@ -20,6 +20,7 @@ from typing import Any, Optional, Sequence
 from repro.catalog.schema import DistributionPolicy
 from repro.cost.model import CostParams
 from repro.engine.cluster import Cluster
+from repro.engine.columnar import DColumns
 from repro.engine.metrics import ExecutionMetrics
 from repro.errors import ExecutionError, OutOfMemoryError
 from repro.ops import physical as ph
@@ -46,11 +47,21 @@ class DRows:
     def total_rows(self) -> int:
         return sum(len(b) for b in self.buckets)
 
+    def bucket_sizes(self) -> list[int]:
+        return [len(b) for b in self.buckets]
+
     def single_copy(self) -> list[tuple]:
         if self.kind in (SINGLETON, REPLICATED):
             return self.buckets[0]
+        # When a single segment holds every row (common after filters on
+        # the distribution key, and always when segments == 1), hand that
+        # bucket back instead of copying it; callers treat the result as
+        # read-only either way.
+        populated = [b for b in self.buckets if b]
+        if len(populated) == 1:
+            return populated[0]
         out: list[tuple] = []
-        for b in self.buckets:
+        for b in populated:
             out.extend(b)
         return out
 
@@ -108,9 +119,20 @@ class Executor:
         materialize_output_factor: float = 0.0,
         tracer=None,
         metrics_registry=None,
+        batch_execution: bool = True,
     ):
         self.cluster = cluster
         self.params = params or CostParams()
+        #: Columnar batch mode: compiled vector expressions over column
+        #: chunks.  Rows, ExecutionMetrics and EXPLAIN ANALYZE are
+        #: float-identical to the row-at-a-time reference path (False).
+        self.batch_execution = batch_execution
+        if batch_execution:
+            from repro.engine.batch import BATCH_HANDLERS
+
+            self._handlers = {**self._HANDLERS, **BATCH_HANDLERS}
+        else:
+            self._handlers = self._HANDLERS
         self.tracer = tracer or NULL_TRACER
         self.telemetry = metrics_registry or NULL_METRICS
         self.time_limit_seconds = time_limit_seconds
@@ -210,7 +232,7 @@ class Executor:
     # ------------------------------------------------------------------
     def _exec(self, node: PlanNode) -> DRows:
         op = node.op
-        handler = self._HANDLERS.get(type(op))
+        handler = self._handlers.get(type(op))
         if handler is None:
             raise ExecutionError(f"no executor for operator {op!r}")
         collect = self._collect
@@ -222,6 +244,10 @@ class Executor:
             master_before = self.metrics.master_work
             net_before = self.metrics.net_bytes
         result: DRows = handler(self, node)
+        if self.batch_execution and type(result) is DRows:
+            # Row-path handler (no batch form): lift the result into a
+            # lazy columnar batch so downstream batch operators compose.
+            result = DColumns.from_drows(result)
         self._charge_stage_overheads(result)
         self.metrics.cardinalities.append(
             (repr(op), node.rows_estimate, result.total_rows())
@@ -259,8 +285,10 @@ class Executor:
         elif drows.kind == REPLICATED:
             self.metrics.charge_all_segments(total_units)
         else:
-            for i, bucket in enumerate(drows.buckets):
-                share = len(bucket) / max(drows.total_rows(), 1)
+            sizes = drows.bucket_sizes()
+            total = max(sum(sizes), 1)
+            for i, size in enumerate(sizes):
+                share = size / total
                 self.metrics.charge_segment(i, total_units * share)
 
     def _env(self, cols_index: dict[int, int], row: tuple) -> dict[int, Any]:
@@ -347,8 +375,10 @@ class Executor:
                 )
         return result
 
-    def _exec_index_scan(self, node: PlanNode) -> DRows:
-        op: ph.PhysicalIndexScan = node.op
+    def _index_fetch(self, op) -> DRows:
+        """Range-fetch, distribute, order and charge an index scan —
+        everything except the residual predicate (each mode applies its
+        own)."""
         rows = self.cluster.db.scan(op.table.name)
         pos = op.table.column_index(op.index.column)
         fetched = []
@@ -380,6 +410,11 @@ class Executor:
         )
         charge = len(fetched) * self.params.index_tuple
         self._charge_by_kind(result, charge)
+        return result
+
+    def _exec_index_scan(self, node: PlanNode) -> DRows:
+        op: ph.PhysicalIndexScan = node.op
+        result = self._index_fetch(op)
         if op.residual is not None:
             index = self._index(result.cols)
             result = DRows(
@@ -838,14 +873,19 @@ class Executor:
         op: ph.PhysicalCTEProducer = node.op
         child = self._exec(node.children[0])
         positions = _positions(child.cols, op.columns)
-        stored = DRows(
-            child.kind,
-            list(op.columns),
-            [
-                [tuple(r[p] for p in positions) for r in b]
-                for b in child.buckets
-            ],
-        )
+        if positions == list(range(len(child.cols))):
+            # Identity projection: share the bucket lists instead of
+            # re-tupling every row.
+            stored = DRows(child.kind, list(op.columns), child.buckets)
+        else:
+            stored = DRows(
+                child.kind,
+                list(op.columns),
+                [
+                    [tuple(r[p] for p in positions) for r in b]
+                    for b in child.buckets
+                ],
+            )
         self._cte_store[op.cte_id] = stored
         self._charge_by_kind(
             child, child.total_rows() * self.params.materialize_factor
@@ -858,14 +898,17 @@ class Executor:
         if stored is None:
             raise ExecutionError(f"CTE {op.cte_id} was not produced")
         positions = _positions(stored.cols, op.producer_cols)
-        renamed = DRows(
-            stored.kind,
-            list(op.output_cols),
-            [
-                [tuple(r[p] for p in positions) for r in b]
-                for b in stored.buckets
-            ],
-        )
+        if positions == list(range(len(stored.cols))):
+            renamed = DRows(stored.kind, list(op.output_cols), stored.buckets)
+        else:
+            renamed = DRows(
+                stored.kind,
+                list(op.output_cols),
+                [
+                    [tuple(r[p] for p in positions) for r in b]
+                    for b in stored.buckets
+                ],
+            )
         self._charge_by_kind(renamed, renamed.total_rows() * 0.5)
         return renamed
 
@@ -885,6 +928,11 @@ def _agg_init(agg: AggFunc):
 
 def _agg_add(slot, agg: AggFunc, env) -> None:
     value = agg.arg.evaluate(env) if agg.arg is not None else 1
+    _agg_add_value(slot, agg, value)
+
+
+def _agg_add_value(slot, agg: AggFunc, value) -> None:
+    """Fold one already-evaluated argument value into an aggregate slot."""
     if agg.name == "count" and agg.arg is None:
         slot[0] += 1
         return

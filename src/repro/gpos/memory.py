@@ -34,20 +34,35 @@ class MemoryTracker:
 
 
 def deep_sizeof(obj: Any, _seen: set | None = None, _depth: int = 0) -> int:
-    """Approximate recursive size of an object graph in bytes."""
-    if _seen is None:
-        _seen = set()
-    if id(obj) in _seen or _depth > 12:
-        return 0
-    _seen.add(id(obj))
-    size = sys.getsizeof(obj, 64)
-    if isinstance(obj, dict):
-        for k, v in obj.items():
-            size += deep_sizeof(k, _seen, _depth + 1)
-            size += deep_sizeof(v, _seen, _depth + 1)
-    elif isinstance(obj, (list, tuple, set, frozenset)):
-        for item in obj:
-            size += deep_sizeof(item, _seen, _depth + 1)
-    elif hasattr(obj, "__dict__"):
-        size += deep_sizeof(vars(obj), _seen, _depth + 1)
-    return size
+    """Approximate recursive size of an object graph in bytes.
+
+    Iterative depth-first traversal in the same visit order as the
+    natural recursion (children pushed in reverse), so the dedup-by-id
+    and depth-cutoff behaviour — and therefore the reported size — match
+    the recursive formulation exactly without per-node call overhead.
+    """
+    seen = _seen if _seen is not None else set()
+    getsizeof = sys.getsizeof
+    total = 0
+    stack = [(obj, _depth)]
+    while stack:
+        o, depth = stack.pop()
+        if id(o) in seen or depth > 12:
+            continue
+        seen.add(id(o))
+        total += getsizeof(o, 64)
+        if isinstance(o, dict):
+            children = []
+            for k, v in o.items():
+                children.append(k)
+                children.append(v)
+        elif isinstance(o, (list, tuple, set, frozenset)):
+            children = list(o)
+        elif hasattr(o, "__dict__"):
+            children = [vars(o)]
+        else:
+            continue
+        depth += 1
+        for child in reversed(children):
+            stack.append((child, depth))
+    return total

@@ -1,0 +1,77 @@
+"""Key interning for optimizer hot paths.
+
+Operator and scalar-expression ``key()`` tuples are the currency of the
+Memo: duplicate detection hashes ``(op.key(), child_groups)`` on every
+insert, optimization contexts are looked up by ``req.key()``, and rule
+bindings compare sub-expression keys constantly.  Recomputing these
+nested tuples — and re-hashing them on every dict probe — dominates
+optimizer CPU once plans get deep.
+
+This module provides a process-wide intern table mapping structurally
+equal key tuples to a single canonical :class:`HashedKey` whose hash is
+computed exactly once.  Interning changes neither equality nor hashing
+semantics (a ``HashedKey`` *is* a tuple), so Memo dedup decisions, job
+counts and plan choices are bit-identical with interning on or off —
+only the constant factors change.
+
+The table is bounded: once full, keys are still wrapped in
+:class:`HashedKey` (hash caching keeps working) but no longer stored,
+so a pathological workload cannot grow it without limit.
+"""
+
+from __future__ import annotations
+
+#: Upper bound on distinct interned keys kept alive by the table.
+MAX_INTERNED_KEYS = 1 << 17
+
+_table: dict[tuple, "HashedKey"] = {}
+_hits = 0
+_misses = 0
+
+
+class HashedKey(tuple):
+    """A tuple whose hash is computed once at construction.
+
+    Deep operator fingerprints are hashed on every Memo probe; caching
+    the hash in the object makes repeat probes O(1) instead of O(size).
+    """
+
+    def __new__(cls, iterable=()):
+        self = tuple.__new__(cls, iterable)
+        self._hash = tuple.__hash__(self)
+        return self
+
+    def __hash__(self) -> int:  # type: ignore[override]
+        return self._hash
+
+
+def intern_key(key: tuple) -> HashedKey:
+    """Return the canonical :class:`HashedKey` for ``key``.
+
+    Structurally equal keys map to the same object, so later equality
+    checks short-circuit on identity and dict probes reuse the cached
+    hash.
+    """
+    global _hits, _misses
+    canonical = _table.get(key)
+    if canonical is not None:
+        _hits += 1
+        return canonical
+    _misses += 1
+    hashed = key if type(key) is HashedKey else HashedKey(key)
+    if len(_table) < MAX_INTERNED_KEYS:
+        _table[hashed] = hashed
+    return hashed
+
+
+def intern_stats() -> dict[str, int]:
+    """Process-wide interning counters (monotonic)."""
+    return {"hits": _hits, "misses": _misses, "size": len(_table)}
+
+
+def clear_intern_table() -> None:
+    """Drop all interned keys and reset counters (tests / benchmarks)."""
+    global _hits, _misses
+    _table.clear()
+    _hits = 0
+    _misses = 0

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.errors import OptimizerError
+from repro.interning import intern_key
 from repro.memo.context import OptimizationContext, PlanInfo, StatsObject
 from repro.ops.expression import Expression, Operator
 from repro.ops.scalar import ColRef
@@ -66,9 +67,28 @@ class GroupExpression:
         self.plans: dict[tuple, PlanInfo] = {}
         self.explored = False
         self.implemented = False
+        #: Cached fingerprint + the Memo merge generation it was computed
+        #: under; merges re-root groups, so the cache is invalidated by
+        #: generation (bumped in :meth:`Memo.merge`).
+        self._fingerprint: Optional[tuple] = None
+        self._fingerprint_gen = -1
+        #: Pure-function memos (see SearchEngine): delivered-props by
+        #: child-delivered tuple, child request alternatives by req key.
+        #: Both depend only on the immutable operator and their explicit
+        #: inputs, so they never need merge invalidation.
+        self.delivered_cache: dict = {}
+        self.alt_cache: dict = {}
 
     def fingerprint(self, memo: "Memo") -> tuple:
-        return (self.op.key(), tuple(memo.find(g) for g in self.child_groups))
+        cached = self._fingerprint
+        if cached is not None and self._fingerprint_gen == memo.merge_generation:
+            return cached
+        fp = intern_key(
+            (self.op.key(), tuple(memo.find(g) for g in self.child_groups))
+        )
+        self._fingerprint = fp
+        self._fingerprint_gen = memo.merge_generation
+        return fp
 
     def plan_for(self, req: RequiredProps) -> Optional[PlanInfo]:
         return self.plans.get(req.key())
@@ -139,6 +159,9 @@ class Memo:
         self._next_gexpr_id = 0
         self.root: Optional[int] = None
         self.tracer = tracer or NULL_TRACER
+        #: Bumped on every group merge; generation-stamped caches
+        #: (fingerprints, cost floors) check it before trusting a hit.
+        self.merge_generation = 0
 
     def gexpr(self, gexpr_id: int) -> GroupExpression:
         return self._gexpr_by_id[gexpr_id]
@@ -186,7 +209,7 @@ class Memo:
         target_group: Optional[int],
     ) -> tuple[GroupExpression, int]:
         resolved = tuple(self.find(c) for c in child_ids)
-        fingerprint = (expr.op.key(), resolved)
+        fingerprint = intern_key((expr.op.key(), resolved))
         existing = self._dedup.get(fingerprint)
         if existing is not None:
             home = self.find(existing.group_id)
@@ -260,6 +283,7 @@ class Memo:
         ra, rb = self.find(a), self.find(b)
         if ra == rb:
             return ra
+        self.merge_generation += 1
         winner, loser = (ra, rb) if ra < rb else (rb, ra)
         self._parent[loser] = winner
         wgroup, lgroup = self.groups[winner], self.groups[loser]
@@ -306,7 +330,9 @@ class Memo:
                 gexpr.child_groups = tuple(
                     self.find(c) for c in gexpr.child_groups
                 )
-                fingerprint = (gexpr.op.key(), gexpr.child_groups)
+                # fingerprint() recomputes and re-caches here: the merge
+                # bumped merge_generation, invalidating the old entry.
+                fingerprint = gexpr.fingerprint(self)
                 survivor = self._dedup.get(fingerprint)
                 if survivor is None:
                     self._dedup[fingerprint] = gexpr

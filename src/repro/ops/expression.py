@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Optional, Sequence
 
+from repro.interning import intern_key
 from repro.ops.scalar import ColRef, ScalarExpr
 
 
@@ -17,7 +18,9 @@ class Operator:
 
     Operators are immutable value objects; ``key()`` is the fingerprint
     used (together with child group ids) by the Memo's duplicate
-    detection.
+    detection.  Each subclass's ``key()`` is wrapped at class-creation
+    time so the tuple is built once per instance and interned
+    process-wide with a precomputed hash.
     """
 
     name = "Operator"
@@ -27,6 +30,23 @@ class Operator:
     #: optimization and are skipped by exploration/implementation jobs.
     is_enforcer = False
     arity: Optional[int] = None
+    #: Lazily populated per-instance interned key (class default = unset).
+    _cached_key = None
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        raw = cls.__dict__.get("key")
+        if raw is not None and not getattr(raw, "_interning_wrapper", False):
+
+            def key(self, _raw=raw):
+                cached = self._cached_key
+                if cached is None:
+                    cached = self._cached_key = intern_key(_raw(self))
+                return cached
+
+            key._interning_wrapper = True
+            key.__doc__ = raw.__doc__
+            cls.key = key
 
     def key(self) -> tuple:
         raise NotImplementedError
@@ -53,6 +73,8 @@ class Operator:
         return self
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Operator) and self.key() == other.key()
 
     def __hash__(self) -> int:
@@ -72,11 +94,22 @@ class Expression:
             )
         self.op = op
         self.children = list(children)
+        self._output_cols: Optional[list[ColRef]] = None
 
     def output_columns(self) -> list[ColRef]:
-        return self.op.derive_output_columns(
-            [child.output_columns() for child in self.children]
-        )
+        """Output columns of this subtree, derived once and cached.
+
+        Normalization and translation re-ask for output columns at every
+        level of the tree; without the cache each call re-walks the whole
+        subtree.  A defensive copy is returned because several callers
+        take ownership of the list (e.g. ``Group.output_cols``).
+        """
+        cols = self._output_cols
+        if cols is None:
+            cols = self._output_cols = self.op.derive_output_columns(
+                [child.output_columns() for child in self.children]
+            )
+        return list(cols)
 
     def walk(self) -> Iterable["Expression"]:
         """Pre-order traversal."""

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.catalog.types import BOOL, DataType, FLOAT, INT, TEXT, type_of_literal
+from repro.interning import intern_key
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,29 @@ class ScalarExpr:
     """Base class for scalar expression nodes."""
 
     children: tuple["ScalarExpr", ...] = ()
+    #: Lazily populated per-instance interned key (class default = unset).
+    _cached_key = None
+
+    def __init_subclass__(cls, **kwargs):
+        """Wrap each subclass's ``key()`` with caching + interning.
+
+        Expressions are immutable, so the fingerprint can be computed
+        once per instance and interned process-wide; every subclass gets
+        this for free without touching its ``key()`` definition.
+        """
+        super().__init_subclass__(**kwargs)
+        raw = cls.__dict__.get("key")
+        if raw is not None and not getattr(raw, "_interning_wrapper", False):
+
+            def key(self, _raw=raw):
+                cached = self._cached_key
+                if cached is None:
+                    cached = self._cached_key = intern_key(_raw(self))
+                return cached
+
+            key._interning_wrapper = True
+            key.__doc__ = raw.__doc__
+            cls.key = key
 
     @property
     def dtype(self) -> DataType:
@@ -93,6 +117,8 @@ class ScalarExpr:
         raise NotImplementedError
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, ScalarExpr) and self.key() == other.key()
 
     def __hash__(self) -> int:

@@ -25,6 +25,7 @@ from repro.config import OptimizerConfig
 from repro.cost.model import CostModel, CostParams
 from repro.gpos.governor import ResourceGovernor
 from repro.gpos.memory import deep_sizeof
+from repro.interning import intern_stats
 from repro.memo.memo import Memo
 from repro.ops.physical import PhysicalCTEProducer
 from repro.ops.scalar import ColRef, ColumnFactory
@@ -67,6 +68,15 @@ class SearchStats:
     pruned_alternatives: int = 0
     costed_alternatives: int = 0
     bound_redos: int = 0
+    #: Hot-path memoization accounting (all deterministic counts):
+    #: stats derivations answered from the per-group cache, pure property
+    #: derivations (delivered props / child request alternatives /
+    #: operator cost floors) answered from memo, and key-interning
+    #: hits/misses observed during this optimization.
+    derivation_cache_hits: int = 0
+    property_cache_hits: int = 0
+    intern_hits: int = 0
+    intern_misses: int = 0
 
 
 @dataclass
@@ -278,6 +288,10 @@ class Orca:
         m.inc("search_pruned_alternatives_total", stats.pruned_alternatives)
         m.inc("search_costed_alternatives_total", stats.costed_alternatives)
         m.inc("search_bound_redos_total", stats.bound_redos)
+        m.inc("search_derivation_cache_hits_total", stats.derivation_cache_hits)
+        m.inc("search_property_cache_hits_total", stats.property_cache_hits)
+        m.inc("optimizer_intern_events_total", stats.intern_hits, kind="hit")
+        m.inc("optimizer_intern_events_total", stats.intern_misses, kind="miss")
         m.set_gauge("search_memory_bytes", stats.memory_bytes)
         if timed_out:
             m.inc("governor_trips_total", kind="deadline_partial")
@@ -304,6 +318,7 @@ class Orca:
         cte_plans: dict[int, PlanNode] = {}
         stats = SearchStats()
         timed_out = False
+        intern_before = intern_stats()
 
         def absorb(engine: SearchEngine, memo: Memo) -> None:
             stats.jobs_executed += engine.jobs_executed
@@ -317,6 +332,8 @@ class Orca:
             stats.pruned_alternatives += engine.pruned_alternatives
             stats.costed_alternatives += engine.costed_alternatives
             stats.bound_redos += engine.bound_redos
+            stats.derivation_cache_hits += engine.deriver.cache_hits
+            stats.property_cache_hits += engine.property_cache_hits
 
         # 1. Optimize shared CTE producers first, in dependency order.
         for cte in query.cte_defs:
@@ -385,6 +402,11 @@ class Orca:
 
         stats.num_groups = memo.num_groups()
         stats.num_gexprs = memo.num_gexprs()
+        intern_after = intern_stats()
+        stats.intern_hits = intern_after["hits"] - intern_before["hits"]
+        stats.intern_misses = (
+            intern_after["misses"] - intern_before["misses"]
+        )
         root_stats = memo.root_group().stats
         if self.metrics.enabled:
             self._record_search_metrics(stats, timed_out)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.interning import intern_key
 from repro.ops.scalar import ColRef
 
 
@@ -56,7 +57,13 @@ class OrderSpec:
         return tuple(k.col_id for k in self.keys)
 
     def key(self) -> tuple:
-        return tuple((k.col_id, k.ascending) for k in self.keys)
+        cached = getattr(self, "_cached_key", None)
+        if cached is None:
+            cached = intern_key(
+                tuple((k.col_id, k.ascending) for k in self.keys)
+            )
+            object.__setattr__(self, "_cached_key", cached)
+        return cached
 
     def remapped(self, mapping: dict[int, int]) -> "OrderSpec":
         return OrderSpec(

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.interning import intern_key
 from repro.props.distribution import ANY_DIST, AnyDist, DistributionSpec
 from repro.props.order import ANY_ORDER, OrderSpec
 
@@ -21,7 +22,12 @@ class RequiredProps:
     order: OrderSpec = ANY_ORDER
 
     def key(self) -> tuple:
-        return (self.dist.key(), self.order.key())
+        # Requests key every context lookup; build + intern the tuple once.
+        cached = getattr(self, "_cached_key", None)
+        if cached is None:
+            cached = intern_key((self.dist.key(), self.order.key()))
+            object.__setattr__(self, "_cached_key", cached)
+        return cached
 
     def is_any(self) -> bool:
         return isinstance(self.dist, AnyDist) and self.order.is_empty()

@@ -79,6 +79,15 @@ class SearchEngine:
         self.pruned_alternatives = 0
         self.costed_alternatives = 0
         self.bound_redos = 0
+        #: Memoization accounting: pure derivation sub-results (delivered
+        #: properties, child request alternatives, operator cost floors)
+        #: answered from cache instead of re-derived.  Deterministic —
+        #: caching only skips recomputing values that are bit-identical.
+        self.property_cache_hits = 0
+        #: gexpr id -> (memo merge generation, operator local-cost floor).
+        #: Merges re-root child groups (changing resolved stats), so
+        #: entries are invalidated by generation.
+        self._op_floor_cache: dict[int, tuple[int, float]] = {}
         #: cte_id -> optimized producer PlanNode (attached at extraction).
         self.cte_plans: dict[int, PlanNode] = {}
         #: Set when a governor deadline cut this search short but a
@@ -186,6 +195,66 @@ class SearchEngine:
                     gexpr.implemented = False
 
     # ------------------------------------------------------------------
+    # Pure-function memoization.  Everything cached here is a
+    # deterministic function of immutable inputs (operator + explicit
+    # arguments), so hits return bit-identical values and job counts,
+    # plan choices and traces are unchanged — only repeated work is
+    # skipped.  Dynamic search state (context incumbents, group cost
+    # floors) is deliberately NOT cached.
+    # ------------------------------------------------------------------
+    def op_floor(self, gexpr: GroupExpression) -> float:
+        """Lower bound on ``gexpr``'s operator-local cost, memoized per
+        (gexpr, merge generation)."""
+        if not self.config.enable_derivation_cache:
+            return self._compute_op_floor(gexpr)
+        generation = self.memo.merge_generation
+        cached = self._op_floor_cache.get(gexpr.id)
+        if cached is not None and cached[0] == generation:
+            self.property_cache_hits += 1
+            return cached[1]
+        floor = self._compute_op_floor(gexpr)
+        self._op_floor_cache[gexpr.id] = (generation, floor)
+        return floor
+
+    def _compute_op_floor(self, gexpr: GroupExpression) -> float:
+        stats = self.deriver.derive(gexpr.group_id)
+        child_stats = [self.deriver.derive(c) for c in gexpr.child_groups]
+        return self.cost_model.local_cost_floor(gexpr.op, stats, child_stats)
+
+    def child_alternatives(
+        self, gexpr: GroupExpression, req: RequiredProps
+    ) -> list[tuple[RequiredProps, ...]]:
+        """``op.child_request_alternatives(req)``, memoized per
+        (gexpr, request key).  Callers must treat the list as read-only."""
+        if not self.config.enable_derivation_cache:
+            return gexpr.op.child_request_alternatives(req)
+        req_key = req.key()
+        cached = gexpr.alt_cache.get(req_key)
+        if cached is None:
+            cached = gexpr.alt_cache[req_key] = (
+                gexpr.op.child_request_alternatives(req)
+            )
+        else:
+            self.property_cache_hits += 1
+        return cached
+
+    _NO_DELIVERED = object()
+
+    def derive_delivered(self, gexpr: GroupExpression, child_delivered):
+        """``op.derive_delivered(child_delivered)``, memoized per child
+        property combination (None results included)."""
+        if not self.config.enable_derivation_cache:
+            return gexpr.op.derive_delivered(child_delivered)
+        key = tuple(child_delivered)
+        cached = gexpr.delivered_cache.get(key, self._NO_DELIVERED)
+        if cached is not self._NO_DELIVERED:
+            self.property_cache_hits += 1
+            return cached
+        delivered = gexpr.op.derive_delivered(child_delivered)
+        gexpr.delivered_cache[key] = delivered
+        return delivered
+
+    # ------------------------------------------------------------------
     def cost_alternative(
         self,
         gexpr: GroupExpression,
@@ -213,7 +282,7 @@ class SearchEngine:
             child_delivered.append(info.delivered)
             child_costs.append(ctx.best_cost)
             child_stats.append(self.deriver.derive(child_group_id))
-        delivered = gexpr.op.derive_delivered(child_delivered)
+        delivered = self.derive_delivered(gexpr, child_delivered)
         if delivered is None or not delivered.satisfies(req):
             return None
         stats = self.deriver.derive(gexpr.group_id)

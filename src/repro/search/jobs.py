@@ -71,17 +71,16 @@ def gexpr_cost_floor(engine: "SearchEngine", gexpr: GroupExpression) -> float:
     """Sound lower bound on the total cost of any plan rooted at
     ``gexpr``: the child groups' cost floors plus a conservative lower
     bound on the operator's own local cost (best-case distribution
-    everywhere; see :meth:`CostModel.local_cost_floor`)."""
+    everywhere; see :meth:`CostModel.local_cost_floor`).
+
+    The group cost floors are live search state and are re-read every
+    call; the operator-local part is pure and served from the engine's
+    memo (:meth:`SearchEngine.op_floor`)."""
     memo = engine.memo
     total = 0.0
-    child_stats = []
     for child in gexpr.child_groups:
         total += group_cost_floor(memo, child)
-        child_stats.append(engine.deriver.derive(child))
-    stats = engine.deriver.derive(gexpr.group_id)
-    return total + engine.cost_model.local_cost_floor(
-        gexpr.op, stats, child_stats
-    )
+    return total + engine.op_floor(gexpr)
 
 
 class JobGroupExplore(Job):
@@ -415,7 +414,9 @@ class JobGexprOptimize(Job):
             op = self.gexpr.op
             if isinstance(op, EnforcerOp) and not op.serves(self.req):
                 return None
-            self._alternatives = op.child_request_alternatives(self.req)
+            self._alternatives = engine.child_alternatives(
+                self.gexpr, self.req
+            )
             if not engine.config.enable_cost_bound_pruning:
                 jobs = []
                 for alt in self._alternatives:
@@ -464,14 +465,7 @@ class JobGexprOptimize(Job):
             # so a hopeless alternative is dropped before its stricter
             # child contexts are ever requested.
             if self._op_floor is None and math.isfinite(threshold):
-                stats = engine.deriver.derive(self.gexpr.group_id)
-                child_stats = [
-                    engine.deriver.derive(c)
-                    for c in self.gexpr.child_groups
-                ]
-                self._op_floor = engine.cost_model.local_cost_floor(
-                    self.gexpr.op, stats, child_stats
-                )
+                self._op_floor = engine.op_floor(self.gexpr)
             rem_floor = (self._op_floor or 0.0) + sum(
                 group_cost_floor(memo, self.gexpr.child_groups[pos])
                 for pos in self._remaining

@@ -250,6 +250,7 @@ class Session:
             self._cluster,
             tracer=self._orca.tracer,
             metrics_registry=self.telemetry,
+            batch_execution=self.config.batch_execution,
         )
         execution = executor.execute(
             result.plan, result.output_cols, analyze=analyze

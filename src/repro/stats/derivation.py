@@ -87,11 +87,17 @@ class StatsDeriver:
         #: Fault-injection harness (repro.service.faults); fires the
         #: ``stats_derive`` site once per actual group derivation.
         self.faults = faults
+        #: Cache accounting: ``cache_hits`` counts derive() calls answered
+        #: from ``group.stats`` without recomputation, ``cache_misses``
+        #: the actual (expensive) derivations.  Both are deterministic.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
     def derive(self, group_id: int) -> StatsObject:
         group = self.memo.group(group_id)
         if group.stats is not None:
+            self.cache_hits += 1
             return group.stats
         if self.faults is not None:
             self.faults.fire("stats_derive", group=group.id)
@@ -99,6 +105,7 @@ class StatsDeriver:
             # Defensive: recursive CTE-like cycle; return a guess.
             return StatsObject(row_count=1000.0)
         self._in_progress.add(group.id)
+        self.cache_misses += 1
         try:
             gexpr = self._most_promising(group)
             child_stats = [self.derive(c) for c in gexpr.child_groups]

@@ -142,6 +142,8 @@ class TestResultShape:
             "num_groups", "num_gexprs", "jobs_executed", "xform_count",
             "kind_counts", "memory_bytes", "job_log",
             "pruned_alternatives", "costed_alternatives", "bound_redos",
+            "derivation_cache_hits", "property_cache_hits",
+            "intern_hits", "intern_misses",
         }
 
     def test_result_has_plan_source_field(self):

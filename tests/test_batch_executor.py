@@ -1,0 +1,220 @@
+"""Batch-executor differential: batch mode must be *identical* to row mode.
+
+The columnar executor is a drop-in replacement for the row-at-a-time
+reference executor: same rows in the same order, the same
+:class:`~repro.engine.metrics.ExecutionMetrics` field by field (including
+the per-segment work vector), and the same per-node
+:class:`~repro.telemetry.analyze.NodeStats` under EXPLAIN ANALYZE.  No
+tolerance anywhere — float accumulation order is part of the contract.
+
+Covered three ways: a designed query set that pins every physical
+operator (including the ones without a dedicated batch handler, which
+run through the row handlers over column batches), the full TPC-DS
+workload corpus, and a Hypothesis property over randomly composed
+queries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import OptimizerConfig
+from repro.engine import Cluster, Executor
+from repro.optimizer import Orca
+from repro.workloads import QUERIES
+
+from tests.conftest import make_partitioned_db, make_small_db
+
+
+def _walk(node):
+    yield node
+    for child in node.children:
+        yield from _walk(child)
+
+
+def assert_batch_identical(db, result, segments: int = 8):
+    """Execute ``result.plan`` in both modes and compare everything."""
+    row = Executor(
+        Cluster(db, segments=segments), batch_execution=False
+    ).execute(result.plan, result.output_cols, analyze=True)
+    batch = Executor(
+        Cluster(db, segments=segments), batch_execution=True
+    ).execute(result.plan, result.output_cols, analyze=True)
+
+    # Rows: exact values, exact order — no float tolerance.
+    assert batch.rows == row.rows
+    assert batch.columns == row.columns
+
+    for f in dataclasses.fields(row.metrics):
+        assert getattr(batch.metrics, f.name) == getattr(row.metrics, f.name), (
+            f"metrics field {f.name!r} diverged"
+        )
+
+    # Per-node actuals, node by node, field by field.
+    for node in _walk(result.plan):
+        rs = row.analysis.stats_for(node)
+        bs = batch.analysis.stats_for(node)
+        for f in dataclasses.fields(rs):
+            assert getattr(bs, f.name) == getattr(rs, f.name), (
+                f"node {node.op.name}: stats field {f.name!r} diverged"
+            )
+    assert batch.analysis.render() == row.analysis.render()
+    return row
+
+
+# ---------------------------------------------------------------------------
+# Designed coverage: every physical operator appears in at least one plan.
+# ---------------------------------------------------------------------------
+
+OPERATOR_QUERIES = {
+    "scan_filter_project": (
+        "SELECT a, b * 2 + 1 FROM t1 WHERE b > 40 AND c <> 'x'",
+        {"Filter"},
+    ),
+    "index_scan": (
+        "SELECT a FROM t1 WHERE b = 7",
+        {"IndexScan"},
+    ),
+    "hash_join": (
+        "SELECT t1.a, t2.b FROM t1, t2 WHERE t1.a = t2.a",
+        {"HashJoin"},
+    ),
+    "left_join": (
+        "SELECT t1.a, t2.b FROM t1 LEFT JOIN t2 ON t1.a = t2.a "
+        "ORDER BY t1.a, t2.b LIMIT 50",
+        {"HashJoin"},
+    ),
+    "nl_join": (
+        "SELECT count(*) FROM t1, t2 WHERE t1.b < t2.b",
+        {"NLJoin"},
+    ),
+    "hash_agg": (
+        "SELECT c, sum(b), count(*), avg(b), min(b), max(b), "
+        "count(DISTINCT a) FROM t1 GROUP BY c",
+        {"HashAgg", "StreamAgg"},
+    ),
+    "scalar_agg": (
+        "SELECT sum(b), min(c) FROM t1 WHERE a > 900",
+        {"HashAgg", "StreamAgg"},
+    ),
+    "sort_limit": (
+        "SELECT a, b FROM t1 ORDER BY b, a LIMIT 25",
+        {"Sort", "Limit"},
+    ),
+    "semi_join": (
+        "SELECT count(*) FROM t1 WHERE a IN (SELECT a FROM t2)",
+        set(),
+    ),
+    "anti_join": (
+        "SELECT count(*) FROM t1 WHERE a NOT IN (SELECT a FROM t2)",
+        set(),
+    ),
+    "cte": (
+        "WITH base AS (SELECT a, b FROM t1 WHERE b > 50) "
+        "SELECT x.a, y.b FROM base x, base y WHERE x.a = y.a "
+        "ORDER BY x.a, y.b LIMIT 40",
+        set(),
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def small_db():
+    return make_small_db(t1_rows=1500, t2_rows=300)
+
+
+@pytest.fixture(scope="module")
+def small_orca(small_db):
+    return Orca(small_db, config=OptimizerConfig(segments=8))
+
+
+class TestOperatorCoverage:
+    @pytest.mark.parametrize("name", sorted(OPERATOR_QUERIES))
+    def test_operator_identical(self, small_db, small_orca, name):
+        sql, expected_ops = OPERATOR_QUERIES[name]
+        result = small_orca.optimize(sql)
+        plan_ops = {node.op.name for node in _walk(result.plan)}
+        assert not expected_ops or expected_ops & plan_ops, (
+            f"plan for {name!r} lost its target operator: {plan_ops}"
+        )
+        assert_batch_identical(small_db, result)
+
+    def test_dynamic_scan_partition_elimination(self):
+        db = make_partitioned_db()
+        orca = Orca(db, config=OptimizerConfig(segments=8))
+        result = orca.optimize(
+            "SELECT k, sum(v) FROM fact WHERE day BETWEEN 150 AND 420 "
+            "GROUP BY k ORDER BY k"
+        )
+        row = assert_batch_identical(db, result)
+        # Static elimination: only the partitions overlapping the day
+        # range are scanned (4 of the 10).
+        assert 0 < row.metrics.partitions_scanned < 10
+
+    def test_motion_heavy_redistribution(self, small_db, small_orca):
+        # Join on non-distribution columns forces redistribute motions.
+        result = small_orca.optimize(
+            "SELECT t1.b, t2.b FROM t1, t2 WHERE t1.b = t2.b "
+            "ORDER BY t1.b LIMIT 30"
+        )
+        row = assert_batch_identical(small_db, result)
+        assert row.metrics.rows_moved > 0
+
+
+# ---------------------------------------------------------------------------
+# The full TPC-DS workload corpus.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tpcds_orca(tpcds_db):
+    return Orca(tpcds_db, config=OptimizerConfig(segments=8))
+
+
+@pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.id)
+def test_tpcds_corpus_identical(tpcds_db, tpcds_orca, query):
+    result = tpcds_orca.optimize(query.sql)
+    assert_batch_identical(tpcds_db, result)
+
+
+# ---------------------------------------------------------------------------
+# Property: randomly composed queries stay identical in both modes.
+# ---------------------------------------------------------------------------
+
+_COMPARES = (">", "<", ">=", "<=", "=", "<>")
+_AGGS = (
+    "count(*)", "sum(t1.b)", "avg(t1.b)", "min(t1.b)", "max(t1.b)",
+    "count(DISTINCT t1.c)",
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    threshold=st.integers(min_value=0, max_value=100),
+    compare=st.sampled_from(_COMPARES),
+    agg=st.sampled_from(_AGGS),
+    grouped=st.booleans(),
+    joined=st.booleans(),
+    limit=st.integers(min_value=1, max_value=40),
+)
+def test_random_query_identical(
+    small_db, small_orca, threshold, compare, agg, grouped, joined, limit
+):
+    if grouped:
+        select = f"t1.c, {agg}"
+        tail = "GROUP BY t1.c ORDER BY t1.c"
+    else:
+        select = "t1.a, t1.b, t1.b * 3 - 1"
+        tail = f"ORDER BY t1.a, t1.b LIMIT {limit}"
+    if joined:
+        from_where = (
+            f"FROM t1, t2 WHERE t1.a = t2.a AND t1.b {compare} {threshold}"
+        )
+    else:
+        from_where = f"FROM t1 WHERE t1.b {compare} {threshold}"
+    sql = f"SELECT {select} {from_where} {tail}"
+    assert_batch_identical(small_db, small_orca.optimize(sql))

@@ -1,0 +1,135 @@
+"""Key interning and optimizer memoization: semantics and determinism.
+
+Interning is a pure constant-factor optimization: a ``HashedKey`` *is*
+the tuple it wraps, so equality, hashing, and therefore every Memo dedup
+decision and job count must be bit-identical whether the intern table is
+cold, warm, or disabled-by-fullness.  These tests pin that contract plus
+the bookkeeping the benchmark gate relies on (deterministic hit/miss
+counters surfaced through :class:`repro.optimizer.SearchStats`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import interning
+from repro.config import OptimizerConfig
+from repro.interning import HashedKey, clear_intern_table, intern_key, intern_stats
+from repro.optimizer import Orca
+
+from tests.conftest import make_small_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_small_db(t1_rows=600, t2_rows=120)
+
+
+class TestInternKey:
+    def test_structurally_equal_keys_share_identity(self):
+        a = intern_key(("Join", (1, 2), "inner"))
+        b = intern_key(("Join", (1, 2), "inner"))
+        assert a is b
+
+    def test_hashed_key_is_the_tuple(self):
+        key = ("Scan", "t1", (0, 1))
+        hashed = intern_key(key)
+        assert hashed == key
+        assert hash(hashed) == hash(key)
+        assert isinstance(hashed, tuple)
+        # Usable interchangeably as a dict key.
+        assert {key: 1}[hashed] == 1
+        assert {hashed: 1}[key] == 1
+
+    def test_distinct_keys_stay_distinct(self):
+        assert intern_key((1,)) is not intern_key((2,))
+        assert intern_key((1,)) != intern_key((1.5,))
+
+    def test_interning_a_hashed_key_is_idempotent(self):
+        hashed = intern_key(("Filter", 7))
+        assert intern_key(hashed) is hashed
+
+    def test_counters_and_clear(self):
+        clear_intern_table()
+        before = intern_stats()
+        assert before == {"hits": 0, "misses": 0, "size": 0}
+        intern_key(("x", 1))
+        intern_key(("x", 1))
+        stats = intern_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["size"] == 1
+        clear_intern_table()
+        assert intern_stats() == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_full_table_still_caches_hashes(self, monkeypatch):
+        clear_intern_table()
+        monkeypatch.setattr(interning, "MAX_INTERNED_KEYS", 1)
+        first = intern_key(("a",))
+        overflow = intern_key(("b",))
+        # Not stored (table full), but still a HashedKey with the right
+        # equality semantics — and the stored key keeps its identity.
+        assert isinstance(overflow, HashedKey)
+        assert overflow == ("b",)
+        assert intern_key(("b",)) is not None
+        assert intern_key(("a",)) is first
+        clear_intern_table()
+
+
+class TestOptimizerMemoization:
+    def test_counters_surface_in_search_stats(self, db):
+        orca = Orca(db, config=OptimizerConfig(segments=8))
+        sql = "SELECT t1.a, count(*) FROM t1, t2 WHERE t1.a = t2.a GROUP BY t1.a"
+        stats = orca.optimize(sql).search_stats
+        assert stats.intern_hits + stats.intern_misses > 0
+        assert stats.derivation_cache_hits > 0
+        assert stats.property_cache_hits > 0
+
+    def test_warm_table_turns_misses_into_hits(self, db):
+        clear_intern_table()
+        orca = Orca(db, config=OptimizerConfig(segments=8))
+        sql = "SELECT b, count(*) FROM t1 GROUP BY b"
+        cold = orca.optimize(sql).search_stats
+        warm = orca.optimize(sql).search_stats
+        assert cold.intern_misses > 0
+        # Every key the second pass needs was interned by the first.
+        assert warm.intern_misses == 0
+        assert warm.intern_hits > 0
+
+    def test_search_is_identical_cold_and_warm(self, db):
+        """Interning must not change any search decision, only speed."""
+        sql = (
+            "SELECT t1.c, sum(t2.b) FROM t1, t2 "
+            "WHERE t1.a = t2.a AND t1.b > 30 GROUP BY t1.c"
+        )
+        clear_intern_table()
+        cold = Orca(db, config=OptimizerConfig(segments=8)).optimize(sql)
+        warm = Orca(db, config=OptimizerConfig(segments=8)).optimize(sql)
+        for field in ("num_groups", "num_gexprs", "jobs_executed",
+                      "xform_count", "kind_counts", "pruned_alternatives",
+                      "costed_alternatives"):
+            assert getattr(cold.search_stats, field) == getattr(
+                warm.search_stats, field
+            ), field
+        assert cold.plan.explain() == warm.plan.explain()
+        assert cold.plan.cost == warm.plan.cost
+
+    def test_derivation_cache_changes_counters_not_plans(self, db):
+        """``enable_derivation_cache`` gates the pure property memos
+        (op floors, child request alternatives, delivered props)."""
+        sql = (
+            "SELECT t1.c, sum(t2.b) FROM t1, t2 "
+            "WHERE t1.a = t2.a AND t1.b > 30 GROUP BY t1.c"
+        )
+        on = Orca(db, config=OptimizerConfig(
+            segments=8, enable_derivation_cache=True,
+        )).optimize(sql)
+        off = Orca(db, config=OptimizerConfig(
+            segments=8, enable_derivation_cache=False,
+        )).optimize(sql)
+        assert on.search_stats.property_cache_hits > 0
+        assert off.search_stats.property_cache_hits == 0
+        assert on.plan.explain() == off.plan.explain()
+        assert on.plan.cost == off.plan.cost
+        assert on.search_stats.num_groups == off.search_stats.num_groups
+        assert on.search_stats.num_gexprs == off.search_stats.num_gexprs
