@@ -1,0 +1,155 @@
+"""Cardinality-feedback benchmark + regression gate for CI.
+
+Runs the full TPC-DS-style workload through a feedback-enabled session
+for several passes and measures the workload geomean q-error (the
+multiplicative cardinality estimation error, Section 6.1) after each
+pass.  The feedback loop closes between passes, so the gate is the
+headline property of the feature:
+
+* the geomean q-error must shrink **monotonically** across passes
+  (within a small tolerance for EWMA ripple), and
+* the second pass must be **strictly better** than the first, and
+* result rows must be identical with feedback on and off — corrections
+  change estimates, never answers.
+
+Snapshots land in ``benchmarks/history/QERR_<date>.json`` so the
+trajectory is committed to the repo rather than evaporating with the CI
+workspace.  Usage::
+
+    PYTHONPATH=src python benchmarks/qerror_report.py \
+        --out benchmarks/history/QERR_2026-08-07.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import sys
+
+import repro
+from repro.verify.qerror import workload_qerror
+from repro.workloads import QUERIES, build_populated_db
+
+#: Tolerated relative worsening between consecutive passes before the
+#: monotonic-shrink gate trips.  The EWMA can ripple a hair on shapes
+#: whose actuals oscillate; anything beyond this is a real regression.
+MONOTONIC_TOLERANCE = 0.01
+
+
+def _rows_key(rows, float_places: int = 6):
+    def key(row):
+        return tuple(
+            round(v, float_places) if isinstance(v, float) else v
+            for v in row
+        )
+
+    return sorted(map(key, rows), key=repr)
+
+
+def run_passes(scale: float, segments: int, passes: int) -> dict:
+    db = build_populated_db(scale=scale)
+    reference = repro.connect(db, segments=segments)
+    session = repro.connect(
+        db, segments=segments, enable_cardinality_feedback=True
+    )
+    reference_rows = {
+        q.id: _rows_key(reference.execute(q.sql).rows) for q in QUERIES
+    }
+
+    per_pass = []
+    row_mismatches = []
+    for pass_no in range(1, passes + 1):
+        analyses = []
+        for q in QUERIES:
+            execution = session.execute(q.sql)
+            analyses.append(execution.analysis)
+            if _rows_key(execution.rows) != reference_rows[q.id]:
+                row_mismatches.append(f"pass {pass_no}: {q.id}")
+        workload = workload_qerror(analyses)
+        per_pass.append({
+            "pass": pass_no,
+            "geomean_qerror": round(workload.geomean, 4),
+            "max_qerror": round(workload.max_qerror, 4),
+            "nodes": workload.node_count,
+        })
+
+    store = session.feedback
+    return {
+        "passes": per_pass,
+        "row_mismatches": row_mismatches,
+        "feedback_store": store.stats(),
+    }
+
+
+def gate(results: dict) -> list[str]:
+    """Return failure descriptions (empty when the run is clean)."""
+    failures = []
+    passes = results["passes"]
+    for prev, cur in zip(passes, passes[1:]):
+        before, after = prev["geomean_qerror"], cur["geomean_qerror"]
+        worsened = (after - before) / before
+        status = "REGRESSION" if worsened > MONOTONIC_TOLERANCE else "ok"
+        print(f"  pass {prev['pass']} -> {cur['pass']}: geomean "
+              f"{before:.4f} -> {after:.4f} ({worsened:+.1%})  {status}")
+        if worsened > MONOTONIC_TOLERANCE:
+            failures.append(
+                f"q-error rose pass {prev['pass']}->{cur['pass']}: "
+                f"{before} -> {after}"
+            )
+    if len(passes) >= 2 and not (
+        passes[1]["geomean_qerror"] < passes[0]["geomean_qerror"]
+    ):
+        failures.append(
+            "second pass did not strictly improve on the first: "
+            f"{passes[0]['geomean_qerror']} -> {passes[1]['geomean_qerror']}"
+        )
+    if results["row_mismatches"]:
+        failures.append(
+            "feedback changed result rows: "
+            + ", ".join(results["row_mismatches"])
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True, help="output JSON path")
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--segments", type=int, default=4)
+    parser.add_argument("--passes", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    results = run_passes(args.scale, args.segments, args.passes)
+    report = {
+        "date": datetime.date.today().isoformat(),
+        "scale": args.scale,
+        "segments": args.segments,
+        "queries": len(QUERIES),
+        **results,
+    }
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"q-error report written to {args.out}")
+    for entry in results["passes"]:
+        print(f"  pass {entry['pass']}: geomean {entry['geomean_qerror']} "
+              f"max {entry['max_qerror']} over {entry['nodes']} nodes")
+
+    failures = gate(results)
+    if failures:
+        print("\nQ-ERROR GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("q-error gate passed: workload estimation error shrinks "
+          "monotonically and rows are unchanged")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,7 @@ from repro.errors import (
     TelemetryError,
     TranslationError,
 )
+from repro.feedback import FeedbackStore
 from repro.gpos.governor import ResourceGovernor
 from repro.optimizer import (
     OptimizationResult,
@@ -71,7 +72,7 @@ from repro.telemetry import (
 )
 from repro.trace import NullTracer, TraceEvent, Tracer
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     # Session facade (stable public API)
@@ -119,5 +120,7 @@ __all__ = [
     "QueryStats",
     "QueryStatsStore",
     "TelemetryError",
+    # Feedback-driven re-optimization
+    "FeedbackStore",
     "__version__",
 ]

@@ -96,6 +96,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "--plan-cache)",
     )
     parser.add_argument(
+        "--feedback", action="store_true",
+        help="enable feedback-driven re-optimization: executed plans' "
+             "actual cardinalities are fed back into statistics "
+             "derivation for later optimizations of matching shapes",
+    )
+    parser.add_argument(
         "--deadline-ms", type=float, default=None, metavar="MS",
         help="per-query wall-clock search deadline; on expiry the best "
              "plan so far is used, else the session falls back to the "
@@ -127,12 +133,15 @@ def _config(args) -> OptimizerConfig:
         "join_reordering": "enable_join_reordering",
         "cost_bound_pruning": "enable_cost_bound_pruning",
         "plan_cache": "enable_plan_cache",
+        "cardinality_feedback": "enable_cardinality_feedback",
     }
     kwargs = {"segments": args.segments}
     if getattr(args, "plan_cache", False) or getattr(
         args, "plan_cache_stats", False
     ):
         kwargs["enable_plan_cache"] = True
+    if getattr(args, "feedback", False):
+        kwargs["enable_cardinality_feedback"] = True
     if getattr(args, "deadline_ms", None) is not None:
         kwargs["search_deadline_ms"] = args.deadline_ms
     if getattr(args, "job_limit", None) is not None:
@@ -284,6 +293,11 @@ def cmd_stats(args) -> int:
     from repro.telemetry import parse_prometheus
     from repro.workloads import QUERIES
 
+    if args.q_error:
+        # Q-error aggregates only exist when executed plans feed actuals
+        # back through the feedback loop.
+        args.feedback = True
+        args.execute = True
     db = build_populated_db(scale=args.scale, seed=args.seed)
     config = _config(args)
     pool = SessionPool(
@@ -303,7 +317,12 @@ def cmd_stats(args) -> int:
             except ReproError as exc:
                 print(f"-- {query.id}: error [{exc.code}]: {exc}",
                       file=sys.stderr)
-    print(pool.stats_store.render(limit=args.top))
+    if args.q_error:
+        print(pool.stats_store.render_qerror(limit=args.top))
+        print()
+        print(pool.feedback.summary())
+    else:
+        print(pool.stats_store.render(limit=args.top))
     print()
     print(pool.telemetry.summary())
     exposition = pool.prometheus()
@@ -426,6 +445,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--execute", action="store_true",
         help="also execute each query (adds simulated execution work "
              "to the statistics)",
+    )
+    p.add_argument(
+        "--q-error", action="store_true", dest="q_error",
+        help="report per-query cardinality q-error aggregates instead of "
+             "the call-count table (implies --execute and --feedback)",
     )
     p.add_argument(
         "--prometheus-out", metavar="PATH", default=None,

@@ -78,6 +78,12 @@ class OptimizerConfig:
     #: config, catalog version); literals are parameter markers, so a
     #: repeated query shape skips search and re-binds parameters instead.
     enable_plan_cache: bool = False
+    #: Feedback-driven re-optimization: blend observed cardinalities from
+    #: EXPLAIN ANALYZE actuals (ingested into a FeedbackStore, keyed by
+    #: logical shape) into statistics derivation on the next optimization
+    #: of a matching sub-expression.  Off (the default) keeps the search
+    #: bit-identical to a build without the feedback subsystem.
+    enable_cardinality_feedback: bool = False
     #: Maximum number of cached plans (LRU eviction beyond this).
     plan_cache_size: int = 64
     #: Cap on exhaustive join reordering; larger joins use greedy linearization.

@@ -77,6 +77,12 @@ class SearchStats:
     property_cache_hits: int = 0
     intern_hits: int = 0
     intern_misses: int = 0
+    #: Cardinality-feedback accounting (repro.feedback): derivations that
+    #: found a confident observed cardinality for their group's shape,
+    #: and the subset whose estimate actually changed.  Both zero when
+    #: ``enable_cardinality_feedback`` is off.
+    feedback_hits: int = 0
+    corrections_applied: int = 0
 
 
 @dataclass
@@ -192,6 +198,7 @@ class Orca:
         governor: Optional[ResourceGovernor] = None,
         faults=None,
         metrics=None,
+        feedback=None,
     ):
         self.catalog = catalog
         self.config = config or OptimizerConfig()
@@ -217,6 +224,21 @@ class Orca:
             if self.config.enable_plan_cache
             else None
         )
+        #: Cardinality feedback store (repro.feedback.FeedbackStore),
+        #: gated on ``enable_cardinality_feedback``: with the flag off the
+        #: store is None even when one is passed, keeping the search
+        #: bit-identical to a build without the feedback subsystem.
+        if self.config.enable_cardinality_feedback:
+            if feedback is None:
+                from repro.feedback import FeedbackStore
+
+                feedback = FeedbackStore(metrics=self.metrics)
+            self.feedback = feedback
+        else:
+            self.feedback = None
+        #: Catalog versions at the last optimize(); a change triggers
+        #: proactive eviction of stale plan-cache entries.
+        self._seen_catalog_versions: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def optimize(self, sql_or_stmt: Union[str, SelectStmt]) -> OptimizationResult:
@@ -233,10 +255,19 @@ class Orca:
         else:
             stmt = sql_or_stmt
         cache_key = cache_params = None
+        catalog_versions = None
         if self.plan_cache is not None:
             with tracer.span("plan_cache_lookup"):
                 shape, cache_params = fingerprint(stmt)
-                cache_key = (shape, self.config, self._catalog_versions())
+                catalog_versions = self._catalog_versions()
+                if catalog_versions != self._seen_catalog_versions:
+                    # DDL/ANALYZE since the last optimize: entries keyed
+                    # by the old versions are unreachable — drop them
+                    # instead of letting them squat in the LRU.
+                    if self._seen_catalog_versions is not None:
+                        self.plan_cache.evict_stale(catalog_versions)
+                    self._seen_catalog_versions = catalog_versions
+                cache_key = (shape, self.config, catalog_versions)
                 hit = self.plan_cache.lookup(cache_key, cache_params)
             if hit is not None:
                 return OptimizationResult(
@@ -261,6 +292,12 @@ class Orca:
             if result.plan_source == "orca":
                 # Never cache degraded plans: a best-so-far plan must not
                 # outlive the deadline that produced it.
+                if self.feedback is not None:
+                    from repro.feedback import plan_shapes
+
+                    shapes = plan_shapes(result.plan)
+                else:
+                    shapes = frozenset()
                 self.plan_cache.store(
                     cache_key,
                     cache_params,
@@ -268,6 +305,8 @@ class Orca:
                     result.output_cols,
                     result.output_names,
                     stats_confidence=result.stats_confidence,
+                    shapes=shapes,
+                    catalog_versions=catalog_versions,
                 )
         result.opt_time_seconds = time.perf_counter() - start
         return result
@@ -292,6 +331,8 @@ class Orca:
         m.inc("search_property_cache_hits_total", stats.property_cache_hits)
         m.inc("optimizer_intern_events_total", stats.intern_hits, kind="hit")
         m.inc("optimizer_intern_events_total", stats.intern_misses, kind="miss")
+        m.inc("feedback_lookup_hits_total", stats.feedback_hits)
+        m.inc("feedback_corrections_total", stats.corrections_applied)
         m.set_gauge("search_memory_bytes", stats.memory_bytes)
         if timed_out:
             m.inc("governor_trips_total", kind="deadline_partial")
@@ -334,6 +375,8 @@ class Orca:
             stats.bound_redos += engine.bound_redos
             stats.derivation_cache_hits += engine.deriver.cache_hits
             stats.property_cache_hits += engine.property_cache_hits
+            stats.feedback_hits += engine.deriver.feedback_hits
+            stats.corrections_applied += engine.deriver.corrections_applied
 
         # 1. Optimize shared CTE producers first, in dependency order.
         for cte in query.cte_defs:
@@ -348,6 +391,7 @@ class Orca:
                 memo, self.config, factory, self.catalog.stats,
                 cost_model, cte_stats=dict(cte_stats), tracer=tracer,
                 governor=self.governor, faults=self.faults,
+                feedback=self.feedback,
             )
             engine.rule_ctx.cte_delivered = cte_delivered
             engine.rule_ctx.cte_producer_cols = cte_producer_cols
@@ -364,6 +408,9 @@ class Orca:
                 rows_estimate=plan.rows_estimate,
                 cost=plan.cost,
                 delivered=plan.delivered,
+                # The producer is cardinality-transparent: its actuals
+                # are its child's, so it shares the child's shape.
+                shape=plan.shape,
             )
             cte_plans[cte.cte_id] = producer_plan
             cte_delivered[cte.cte_id] = plan.delivered.dist
@@ -384,6 +431,7 @@ class Orca:
             memo, self.config, factory, self.catalog.stats,
             cost_model, cte_stats=cte_stats, tracer=tracer,
             governor=self.governor, faults=self.faults,
+            feedback=self.feedback,
         )
         engine.rule_ctx.cte_delivered = cte_delivered
         engine.rule_ctx.cte_producer_cols = cte_producer_cols

@@ -181,6 +181,14 @@ class CachedPlan:
     #: Whether re-binding different parameter values is unambiguous.
     rebindable: bool
     stats_confidence: float = 1.0
+    #: Feedback shapes of the plan's nodes (repro.feedback); entries are
+    #: evicted when an ingest changes the observed cardinality of any of
+    #: them.  Empty when cardinality feedback is off.
+    shapes: frozenset = frozenset()
+    #: Per-table catalog versions the plan was optimized against; used by
+    #: :meth:`PlanCache.evict_stale` to drop entries a DDL/ANALYZE made
+    #: unreachable instead of letting them squat in the LRU.
+    catalog_versions: tuple = ()
 
 
 @dataclass
@@ -208,6 +216,12 @@ class PlanCache:
         self.evictions = 0
         self.rebinds = 0
         self.stores = 0
+        #: Entries dropped because their catalog versions went stale
+        #: (counted in ``evictions`` too).
+        self.stale_evictions = 0
+        #: Entries dropped because a feedback ingest changed an observed
+        #: cardinality one of their nodes depends on (also in ``evictions``).
+        self.feedback_invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -263,6 +277,8 @@ class PlanCache:
         output_cols: list[ColRef],
         output_names: list[str],
         stats_confidence: float = 1.0,
+        shapes: frozenset = frozenset(),
+        catalog_versions: tuple = (),
     ) -> None:
         """Cache one optimization outcome, evicting LRU entries beyond
         capacity."""
@@ -273,6 +289,8 @@ class PlanCache:
             params=params,
             rebindable=self._rebindable(plan, params),
             stats_confidence=stats_confidence,
+            shapes=shapes,
+            catalog_versions=catalog_versions,
         )
         self._entries.move_to_end(key)
         self.stores += 1
@@ -289,6 +307,63 @@ class PlanCache:
                 self.tracer.record("plan_cache_evict", key=hash(evicted))
 
     # ------------------------------------------------------------------
+    def evict_stale(self, current_versions: tuple) -> int:
+        """Evict entries optimized against outdated catalog versions.
+
+        The cache key embeds the versions too, so stale entries were
+        already unreachable — but unreachable is not gone: they squat in
+        the LRU evicting live plans.  Called by the optimizer whenever it
+        observes the catalog versions changing (the Section 4.1 metadata
+        versioning made the staleness detectable; this makes it acted on).
+        """
+        stale = [
+            key for key, entry in self._entries.items()
+            if entry.catalog_versions != current_versions
+        ]
+        for key in stale:
+            del self._entries[key]
+            self.evictions += 1
+            self.stale_evictions += 1
+            if self.metrics.enabled:
+                self.metrics.inc("plan_cache_events_total", event="evict")
+                self.metrics.inc(
+                    "plan_cache_events_total", event="stale_evict"
+                )
+            if self.tracer.enabled:
+                self.tracer.record("plan_cache_evict", key=hash(key),
+                                   reason="stale_catalog")
+        return len(stale)
+
+    def invalidate_shapes(self, changed: frozenset) -> int:
+        """Evict entries whose plans depend on any changed feedback shape.
+
+        A cached plan was chosen under the estimates current at store
+        time; once an ingest materially moves the observed cardinality of
+        a shape the plan contains, re-optimizing (with the correction
+        applied) can pick a better plan, so serving the cached one would
+        pin the stale choice forever.
+        """
+        if not changed:
+            return 0
+        dead = [
+            key for key, entry in self._entries.items()
+            if entry.shapes & changed
+        ]
+        for key in dead:
+            del self._entries[key]
+            self.evictions += 1
+            self.feedback_invalidations += 1
+            if self.metrics.enabled:
+                self.metrics.inc("plan_cache_events_total", event="evict")
+                self.metrics.inc(
+                    "plan_cache_events_total", event="feedback_invalidate"
+                )
+            if self.tracer.enabled:
+                self.tracer.record("plan_cache_evict", key=hash(key),
+                                   reason="feedback")
+        return len(dead)
+
+    # ------------------------------------------------------------------
     def stats(self) -> dict[str, int]:
         return {
             "hits": self.hits,
@@ -296,6 +371,8 @@ class PlanCache:
             "rebinds": self.rebinds,
             "stores": self.stores,
             "evictions": self.evictions,
+            "stale_evictions": self.stale_evictions,
+            "feedback_invalidations": self.feedback_invalidations,
             "entries": len(self._entries),
         }
 

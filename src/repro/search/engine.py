@@ -43,6 +43,7 @@ class SearchEngine:
         tracer=None,
         governor=None,
         faults=None,
+        feedback=None,
     ):
         self.memo = memo
         self.config = config
@@ -54,9 +55,14 @@ class SearchEngine:
         #: Fault-injection harness (repro.service.faults); None in
         #: production sessions.
         self.faults = faults
+        #: Cardinality feedback store (repro.feedback.FeedbackStore); when
+        #: set, statistics derivation blends in observed actuals and plan
+        #: extraction annotates nodes with their feedback shapes.
+        self.feedback = feedback
         self.cost_model = cost_model or CostModel(segments=config.segments)
         self.deriver = StatsDeriver(
-            memo, config, table_stats, cte_stats, faults=faults
+            memo, config, table_stats, cte_stats, faults=faults,
+            feedback=feedback,
         )
         self.rule_ctx = RuleContext(
             memo=memo,
@@ -145,7 +151,9 @@ class SearchEngine:
         if self.faults is not None:
             self.faults.fire("extraction", group=self.memo.root)
         return extract_plan(
-            self.memo, self.memo.root, req, self.cte_plans
+            self.memo, self.memo.root, req, self.cte_plans,
+            shape_fn=self.deriver.group_shape if self.feedback is not None
+            else None,
         )
 
     # ------------------------------------------------------------------

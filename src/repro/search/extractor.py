@@ -21,8 +21,14 @@ def extract_plan(
     group_id: int,
     req: RequiredProps,
     cte_plans: Optional[dict[int, PlanNode]] = None,
+    shape_fn=None,
 ) -> PlanNode:
-    """Extract the best plan for (group, request) from the Memo."""
+    """Extract the best plan for (group, request) from the Memo.
+
+    ``shape_fn`` (group id -> logical shape) annotates every node with
+    its group's feedback shape so executed actuals can be keyed back to
+    logical sub-expressions; None (the default) leaves nodes unannotated.
+    """
     group = memo.group(group_id)
     ctx = group.existing_context(req)
     if ctx is None or not ctx.has_plan():
@@ -36,7 +42,7 @@ def extract_plan(
             f"best gexpr {gexpr.id} lost its plan for {req!r}"
         )
     children = [
-        extract_plan(memo, child_group, child_req, cte_plans)
+        extract_plan(memo, child_group, child_req, cte_plans, shape_fn)
         for child_group, child_req in zip(gexpr.child_groups, info.child_reqs)
     ]
     if isinstance(gexpr.op, PhysicalSequence) and cte_plans:
@@ -51,4 +57,5 @@ def extract_plan(
         rows_estimate=stats.row_count if stats is not None else 0.0,
         cost=info.cost,
         delivered=info.delivered,
+        shape=shape_fn(group.id) if shape_fn is not None else None,
     )

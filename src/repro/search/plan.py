@@ -20,6 +20,10 @@ class PlanNode:
     rows_estimate: float = 0.0
     cost: float = 0.0
     delivered: Optional[DerivedProps] = None
+    #: Logical shape of the Memo group this node was extracted from
+    #: (see :func:`repro.feedback.group_shape`); annotated only when
+    #: cardinality feedback is enabled, None otherwise.
+    shape: Optional[tuple] = None
 
     def walk(self) -> Iterable["PlanNode"]:
         yield self

@@ -48,6 +48,7 @@ class SessionPool:
         admission_timeout_seconds: Optional[float] = None,
         telemetry: Optional[MetricsRegistry] = None,
         stats_store: Optional[QueryStatsStore] = None,
+        feedback_store=None,
         **session_kwargs,
     ):
         if max_sessions < 1:
@@ -76,6 +77,18 @@ class SessionPool:
                 if base is not None
                 else OptimizerConfig(**config_kwargs)
             )
+        config = session_kwargs.get("config") or OptimizerConfig()
+        #: Pool-wide cardinality feedback store: every session ingests
+        #: into and reads from the same store, so one session's actuals
+        #: improve every session's estimates.  None when the flag is off.
+        if config.enable_cardinality_feedback:
+            if feedback_store is None:
+                from repro.feedback import FeedbackStore
+
+                feedback_store = FeedbackStore(metrics=self.telemetry)
+            self.feedback = feedback_store
+        else:
+            self.feedback = None
         self._session_kwargs = session_kwargs
         self._slots = threading.Semaphore(max_sessions)
         self._lock = threading.Lock()
@@ -121,6 +134,7 @@ class SessionPool:
                     name=f"session-{len(self._sessions)}",
                     telemetry=self.telemetry,
                     stats_store=self.stats_store,
+                    feedback_store=self.feedback,
                     **self._session_kwargs,
                 )
                 self._sessions.append(session)

@@ -101,6 +101,7 @@ class Session:
         name: str = "session",
         telemetry=None,
         stats_store: Optional[QueryStatsStore] = None,
+        feedback_store=None,
     ):
         self.catalog = catalog
         self.config = config or OptimizerConfig()
@@ -115,6 +116,10 @@ class Session:
         #: pg_stat_statements-style per-query aggregates, or None.
         self.stats_store = stats_store
         self.closed = False
+        if self.config.enable_cardinality_feedback and feedback_store is None:
+            from repro.feedback import FeedbackStore
+
+            feedback_store = FeedbackStore(metrics=self.telemetry)
         self._orca = Orca(
             catalog,
             config=self.config,
@@ -122,6 +127,7 @@ class Session:
             tracer=tracer,
             faults=faults,
             metrics=self.telemetry,
+            feedback=feedback_store,
         )
         self._cluster: Optional[Cluster] = None
         #: The most recent OptimizationResult (set by optimize/execute).
@@ -140,6 +146,12 @@ class Session:
     def orca(self) -> Orca:
         """The underlying optimizer (escape hatch; not governed-safe)."""
         return self._orca
+
+    @property
+    def feedback(self):
+        """The cardinality feedback store, or None when the
+        ``enable_cardinality_feedback`` flag is off."""
+        return self._orca.feedback
 
     def _check_open(self) -> None:
         if self.closed:
@@ -252,13 +264,33 @@ class Session:
             metrics_registry=self.telemetry,
             batch_execution=self.config.batch_execution,
         )
+        feedback = self._orca.feedback
         execution = executor.execute(
-            result.plan, result.output_cols, analyze=analyze
+            result.plan, result.output_cols,
+            # The feedback loop needs per-node actuals on every execution,
+            # not only when the caller asked for EXPLAIN ANALYZE.
+            analyze=analyze or feedback is not None,
         )
         result.analysis = execution.analysis
         if self.stats_store is not None:
             self.stats_store.record_execution(sql_or_stmt, execution)
+        if feedback is not None and execution.analysis is not None:
+            self._ingest_feedback(sql_or_stmt, result, execution.analysis)
         return execution
+
+    def _ingest_feedback(self, sql_or_stmt, result, analysis) -> None:
+        """Close the loop after one execution: fold actuals into the
+        feedback store, drop plan-cache entries the new observations
+        stale-date, and record the plan's q-error."""
+        report = self._orca.feedback.ingest(result.plan, analysis)
+        if report.changed_shapes and self._orca.plan_cache is not None:
+            self._orca.plan_cache.invalidate_shapes(report.changed_shapes)
+        if self.stats_store is not None:
+            from repro.verify.qerror import plan_qerror
+
+            self.stats_store.record_qerror(
+                sql_or_stmt, plan_qerror(analysis)
+            )
 
     # ------------------------------------------------------------------
     def _fall_back(
@@ -319,6 +351,7 @@ def connect(
     name: str = "session",
     telemetry=None,
     stats_store: Optional[QueryStatsStore] = None,
+    feedback_store=None,
     **config_kwargs,
 ) -> Session:
     """Open a governed optimizer session — the stable public entry point.
@@ -344,4 +377,5 @@ def connect(
         name=name,
         telemetry=telemetry,
         stats_store=stats_store,
+        feedback_store=feedback_store,
     )

@@ -77,6 +77,7 @@ class StatsDeriver:
         table_stats: Callable[[str], Optional["TableStats"]],
         cte_stats: Optional[dict[int, tuple[StatsObject, tuple]]] = None,
         faults=None,
+        feedback=None,
     ):
         self.memo = memo
         self.config = config
@@ -87,6 +88,17 @@ class StatsDeriver:
         #: Fault-injection harness (repro.service.faults); fires the
         #: ``stats_derive`` site once per actual group derivation.
         self.faults = faults
+        #: Cardinality feedback store (repro.feedback.FeedbackStore) or
+        #: None; when set, derived row counts are blended with observed
+        #: actuals for matching logical shapes.  None leaves derivation
+        #: bit-identical to a build without the feedback subsystem.
+        self.feedback = feedback
+        #: group id -> logical shape, memoized for this derivation session.
+        self._shape_cache: dict[int, tuple] = {}
+        #: Feedback accounting (deterministic): lookups that found a
+        #: confident correction, and corrections that changed an estimate.
+        self.feedback_hits = 0
+        self.corrections_applied = 0
         #: Cache accounting: ``cache_hits`` counts derive() calls answered
         #: from ``group.stats`` without recomputation, ``cache_misses``
         #: the actual (expensive) derivations.  Both are deterministic.
@@ -110,10 +122,47 @@ class StatsDeriver:
             gexpr = self._most_promising(group)
             child_stats = [self.derive(c) for c in gexpr.child_groups]
             stats = self._combine(gexpr, child_stats)
+            if self.feedback is not None:
+                stats = self._apply_feedback(group.id, stats)
             group.stats = stats
             return stats
         finally:
             self._in_progress.discard(group.id)
+
+    def group_shape(self, group_id: int) -> tuple:
+        """The feedback shape of a group, memoized for this session."""
+        from repro.feedback import group_shape
+
+        return group_shape(self.memo, group_id, self._shape_cache)
+
+    def _apply_feedback(self, group_id: int, stats: StatsObject) -> StatsObject:
+        """Blend an observed cardinality into a freshly derived estimate.
+
+        The blend (:meth:`repro.feedback.Correction.corrected_rows`) is
+        confidence-weighted; column stats are scaled along when the
+        correction shrinks the estimate (``scaled`` clamps selectivity to
+        [0, 1], so growth keeps columns and replaces only the row count).
+        """
+        corr = self.feedback.correction(self.group_shape(group_id))
+        if corr is None:
+            return stats
+        self.feedback_hits += 1
+        corrected = corr.corrected_rows(stats.row_count)
+        if corrected == stats.row_count:
+            return stats
+        self.corrections_applied += 1
+        if corrected < stats.row_count and stats.row_count > 0:
+            out = stats.scaled(corrected / stats.row_count)
+        else:
+            out = StatsObject(
+                row_count=corrected,
+                col_stats=dict(stats.col_stats),
+                confidence=stats.confidence,
+            )
+        # Observation-backed estimates are *more* trustworthy than the
+        # derivation chain that produced them.
+        out.confidence = min(max(stats.confidence, corr.confidence), 1.0)
+        return out
 
     def _most_promising(self, group: Group) -> GroupExpression:
         logical = group.logical_gexprs()

@@ -72,6 +72,13 @@ class QueryStats:
     max_exec_work: float = 0.0
     total_exec_seconds: float = 0.0
     rows_returned: int = 0
+    #: Q-error aggregates (repro.verify.qerror), fed by the cardinality
+    #: feedback loop: per-node samples, the running sum of log(q) (the
+    #: geomean accumulator — q-errors aggregate multiplicatively), and
+    #: the worst node seen.
+    qerror_samples: int = 0
+    total_log_qerror: float = 0.0
+    max_qerror: float = 1.0
 
     @property
     def mean_opt_seconds(self) -> float:
@@ -80,6 +87,14 @@ class QueryStats:
     @property
     def mean_exec_work(self) -> float:
         return self.total_exec_work / self.executions if self.executions else 0.0
+
+    @property
+    def geomean_qerror(self) -> float:
+        if not self.qerror_samples:
+            return 1.0
+        import math
+
+        return math.exp(self.total_log_qerror / self.qerror_samples)
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -95,6 +110,9 @@ class QueryStats:
             "max_exec_work": self.max_exec_work,
             "total_exec_seconds": self.total_exec_seconds,
             "rows_returned": self.rows_returned,
+            "qerror_samples": self.qerror_samples,
+            "geomean_qerror": self.geomean_qerror,
+            "max_qerror": self.max_qerror,
         }
 
 
@@ -145,6 +163,18 @@ class QueryStatsStore:
         stats.max_exec_work = max(stats.max_exec_work, work)
         stats.total_exec_seconds += execution_result.simulated_seconds()
         stats.rows_returned += len(execution_result.rows)
+        return stats
+
+    def record_qerror(self, sql_or_stmt, report) -> QueryStats:
+        """Fold one plan's :class:`repro.verify.qerror.QErrorReport` into
+        the query's aggregate (geomean accumulates in log space)."""
+        import math
+
+        stats = self._entry(sql_or_stmt)
+        for node in report.nodes:
+            stats.qerror_samples += 1
+            stats.total_log_qerror += math.log(node.qerror)
+            stats.max_qerror = max(stats.max_qerror, node.qerror)
         return stats
 
     # ------------------------------------------------------------------
@@ -201,4 +231,29 @@ class QueryStatsStore:
             f"({len(entries)} of {len(self._entries)} queries, "
             f"{self.evictions} evicted)"
         )
+        return "\n".join(lines)
+
+    def render_qerror(self, limit: Optional[int] = None, width: int = 48) -> str:
+        """A psql-style table of per-query q-error aggregates, worst
+        geomean first (queries with no q-error samples are omitted)."""
+        entries = [s for s in self.entries() if s.qerror_samples]
+        entries.sort(key=lambda s: (-s.geomean_qerror, s.fingerprint))
+        if limit is not None:
+            entries = entries[:limit]
+        header = (
+            f"{'fingerprint':16} | {'calls':>5} | {'nodes':>5} | "
+            f"{'geomean_q':>9} | {'max_q':>8} | query"
+        )
+        lines = [header, "-" * len(header)]
+        for stats in entries:
+            query = stats.query
+            if len(query) > width:
+                query = query[: width - 3] + "..."
+            lines.append(
+                f"{stats.fingerprint:16} | {stats.calls:>5} | "
+                f"{stats.qerror_samples:>5} | "
+                f"{stats.geomean_qerror:>9.3f} | "
+                f"{stats.max_qerror:>8.2f} | {query}"
+            )
+        lines.append(f"({len(entries)} queries with q-error samples)")
         return "\n".join(lines)

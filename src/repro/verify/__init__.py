@@ -1,8 +1,16 @@
-"""Verifiability tooling (Section 6): AMPERe, TAQO, cardinality testing."""
+"""Verifiability tooling (Section 6): AMPERe, TAQO, cardinality testing,
+and the q-error harness that gates the cardinality feedback loop."""
 
 from repro.verify.ampere import AMPEReDump, capture_dump, replay_dump
 from repro.verify.taqo import TaqoReport, run_taqo, sample_plans
 from repro.verify.cardtest import CardinalityReport, check_cardinalities
+from repro.verify.qerror import (
+    QErrorReport,
+    WorkloadQError,
+    plan_qerror,
+    qerror,
+    workload_qerror,
+)
 
 __all__ = [
     "AMPEReDump",
@@ -13,4 +21,9 @@ __all__ = [
     "sample_plans",
     "CardinalityReport",
     "check_cardinalities",
+    "QErrorReport",
+    "WorkloadQError",
+    "plan_qerror",
+    "qerror",
+    "workload_qerror",
 ]

@@ -36,6 +36,8 @@ EXPECTED_ALL = frozenset({
     # telemetry (fleet observability)
     "MetricsRegistry", "NullMetricsRegistry", "PlanAnalysis",
     "QueryStats", "QueryStatsStore", "TelemetryError",
+    # feedback-driven re-optimization
+    "FeedbackStore",
     "__version__",
 })
 
@@ -144,6 +146,7 @@ class TestResultShape:
             "pruned_alternatives", "costed_alternatives", "bound_redos",
             "derivation_cache_hits", "property_cache_hits",
             "intern_hits", "intern_misses",
+            "feedback_hits", "corrections_applied",
         }
 
     def test_result_has_plan_source_field(self):

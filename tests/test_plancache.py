@@ -188,8 +188,52 @@ def test_plancache_unit_counters():
     stats = cache.stats()
     assert stats == {
         "hits": 0, "misses": 0, "evictions": 0, "rebinds": 0,
-        "stores": 0, "entries": 0,
+        "stores": 0, "stale_evictions": 0, "feedback_invalidations": 0,
+        "entries": 0,
     }
+
+
+def test_catalog_bump_evicts_stale_entries(cache_db):
+    """Satellite regression: a catalog stats-version bump must *evict*
+    entries keyed by the old versions — before, they merely became
+    unreachable and squatted in the LRU until capacity pushed them out.
+    Eviction counts are pinned exactly."""
+    tracer = Tracer()
+    orca = _cached_orca(cache_db, size=8, tracer=tracer)
+    q1 = "SELECT a FROM t1 WHERE b = 1"
+    q2 = "SELECT a FROM t2 WHERE b = 2"
+    orca.optimize(q1)
+    orca.optimize(q2)
+    assert len(orca.plan_cache) == 2
+    assert orca.plan_cache.stats()["stale_evictions"] == 0
+
+    cache_db.analyze("t2")  # bumps t2's catalog version
+    orca.optimize(q1)  # first optimize after the bump triggers eviction
+
+    stats = orca.plan_cache.stats()
+    # Both old entries were keyed by the pre-bump version vector: both
+    # are stale, both evicted; q1's re-optimization stored one new entry.
+    assert stats["stale_evictions"] == 2
+    assert stats["evictions"] == 2
+    assert len(orca.plan_cache) == 1
+    assert tracer.count("plan_cache_evict") == 2
+
+    # A second optimize with unchanged versions evicts nothing further.
+    orca.optimize(q2)
+    assert orca.plan_cache.stats()["stale_evictions"] == 2
+    assert len(orca.plan_cache) == 2
+
+    # Rebind entries are covered too: q1's entry (just re-stored) serves
+    # re-binds for other b-values; bump t1 and it must be gone (a rebind
+    # against stale stats would silently reuse a plan chosen for
+    # different data).  Two live entries -> two more stale evictions.
+    assert orca.optimize(
+        "SELECT a FROM t1 WHERE b = 88"
+    ).plan_cache == "rebind"
+    cache_db.analyze("t1")
+    orca.optimize(q1)
+    assert orca.plan_cache.stats()["stale_evictions"] == 4
+    assert len(orca.plan_cache) == 1
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,197 @@
+"""Q-error metric: bounded multiplicative estimation error.
+
+Pins the zero/empty-cardinality guard (a node that produces no rows — or
+an estimate of zero — must yield a bounded q-error, never a
+ZeroDivisionError or infinity), the geometric-mean aggregation, and the
+per-plan / per-workload report plumbing the feedback benchmark gates on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.search.plan import PlanNode
+from repro.telemetry.analyze import PlanAnalysis
+from repro.verify.qerror import (
+    QErrorReport,
+    WorkloadQError,
+    geometric_mean,
+    plan_qerror,
+    qerror,
+    workload_qerror,
+)
+
+
+class _Op:
+    """Minimal operator stand-in for synthetic plan trees."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+# ----------------------------------------------------------------------
+# The guard: zero / empty cardinalities
+# ----------------------------------------------------------------------
+
+class TestZeroGuards:
+    def test_both_zero_is_a_perfect_estimate(self):
+        assert qerror(0.0, 0.0) == 1.0
+
+    def test_zero_estimate_nonzero_actual_is_bounded(self):
+        assert qerror(0.0, 100.0) == 100.0
+
+    def test_nonzero_estimate_empty_actual_is_bounded(self):
+        assert qerror(250.0, 0.0) == 250.0
+
+    def test_negative_inputs_are_clamped_not_raised(self):
+        assert qerror(-5.0, 10.0) == 10.0
+        assert qerror(10.0, -5.0) == 10.0
+
+    def test_no_zero_division_anywhere(self):
+        for e in (0.0, 0.1, 1.0, 1e12):
+            for a in (0.0, 0.1, 1.0, 1e12):
+                assert math.isfinite(qerror(e, a))
+
+    def test_custom_floor(self):
+        # With a 10-row floor, anything under 10 rows counts as 10.
+        assert qerror(2.0, 1000.0, floor=10.0) == 100.0
+        assert qerror(3.0, 7.0, floor=10.0) == 1.0
+
+    def test_floor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            qerror(1.0, 1.0, floor=0.0)
+        with pytest.raises(ValueError):
+            qerror(1.0, 1.0, floor=-1.0)
+
+    def test_subrow_estimates_clamp_to_floor(self):
+        # Fractional estimates below one row do not inflate the q-error.
+        assert qerror(0.25, 1.0) == 1.0
+
+
+class TestQErrorBasics:
+    def test_exact_estimate(self):
+        assert qerror(42.0, 42.0) == 1.0
+
+    def test_direction_blind(self):
+        assert qerror(10.0, 1000.0) == qerror(1000.0, 10.0) == 100.0
+
+    def test_always_at_least_one(self):
+        assert qerror(5.0, 6.0) == pytest.approx(1.2)
+
+    @given(
+        e=st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+        a=st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+    )
+    def test_property_bounded_symmetric_and_at_least_one(self, e, a):
+        q = qerror(e, a)
+        assert q >= 1.0
+        assert math.isfinite(q)
+        assert q == qerror(a, e)
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+
+class TestGeometricMean:
+    def test_empty_is_one(self):
+        assert geometric_mean([]) == 1.0
+
+    def test_single(self):
+        assert geometric_mean([4.0]) == pytest.approx(4.0)
+
+    def test_multiplicative(self):
+        # One 100x miss among three perfect nodes: geomean is tempered,
+        # unlike an arithmetic mean that would report ~25x.
+        assert geometric_mean([1.0, 1.0, 1.0, 100.0]) == pytest.approx(
+            100.0 ** 0.25
+        )
+
+
+def _synthetic_analysis(specs):
+    """Build a PlanAnalysis for a synthetic plan.
+
+    ``specs`` is a list of (op_name, estimated, loops, rows_out); the
+    first entry is the root, all others its children.
+    """
+    nodes = [
+        PlanNode(op=_Op(name), rows_estimate=est)
+        for name, est, _, _ in specs
+    ]
+    root = nodes[0]
+    root.children = nodes[1:]
+    analysis = PlanAnalysis(plan=root, segments=2)
+    for node, (_, _, loops, rows_out) in zip(nodes, specs):
+        stats = analysis.stats_for(node)
+        stats.loops = loops
+        stats.rows_out = rows_out
+    return analysis
+
+
+class TestPlanQError:
+    def test_per_node_and_geomean(self):
+        analysis = _synthetic_analysis([
+            ("Limit", 10.0, 1, 10),       # exact
+            ("HashJoin", 100.0, 1, 400),  # 4x under
+            ("TableScan", 1000.0, 1, 1000),
+        ])
+        report = plan_qerror(analysis)
+        assert len(report) == 3
+        assert report.max_qerror == pytest.approx(4.0)
+        assert report.geomean == pytest.approx(4.0 ** (1 / 3))
+        assert report.worst(1)[0].operator == "HashJoin"
+
+    def test_unexecuted_nodes_are_skipped(self):
+        analysis = _synthetic_analysis([
+            ("Limit", 10.0, 1, 10),
+            ("Filter", 5.0, 0, 0),  # never ran: not an empty actual
+        ])
+        report = plan_qerror(analysis)
+        assert len(report) == 1
+
+    def test_loops_normalize_actuals(self):
+        # A correlated inner side runs 10 times producing 30 rows total;
+        # the optimizer estimated 3 rows per execution — a perfect call.
+        analysis = _synthetic_analysis([("NLJoin", 3.0, 10, 30)])
+        assert plan_qerror(analysis).geomean == pytest.approx(1.0)
+
+    def test_empty_actuals_score_against_floor(self):
+        analysis = _synthetic_analysis([("TableScan", 50.0, 1, 0)])
+        report = plan_qerror(analysis)
+        assert report.geomean == pytest.approx(50.0)
+
+    def test_render_mentions_worst_node(self):
+        analysis = _synthetic_analysis([("HashAgg", 7.0, 1, 7000)])
+        text = plan_qerror(analysis).render()
+        assert "HashAgg" in text and "geomean" in text
+
+    def test_empty_report_properties(self):
+        report = QErrorReport()
+        assert report.geomean == 1.0
+        assert report.max_qerror == 1.0
+        assert report.median == 1.0
+
+
+class TestWorkloadQError:
+    def test_aggregates_over_plans(self):
+        w = workload_qerror([
+            _synthetic_analysis([("Limit", 10.0, 1, 10)]),
+            None,  # failed execution: skipped, not crashed
+            _synthetic_analysis([("TableScan", 1.0, 1, 16)]),
+        ])
+        assert w.node_count == 2
+        assert w.geomean == pytest.approx(4.0)
+        assert w.max_qerror == pytest.approx(16.0)
+        assert "workload q-error" in w.render()
+
+    def test_empty_workload(self):
+        w = WorkloadQError()
+        assert w.geomean == 1.0
+        assert w.max_qerror == 1.0
