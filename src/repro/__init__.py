@@ -35,6 +35,7 @@ from repro.engine.executor import ExecutionResult, Executor
 from repro.errors import (
     AdmissionError,
     FallbackError,
+    FleetError,
     InjectedFault,
     MemoryQuotaExceeded,
     NoPlanError,
@@ -44,8 +45,11 @@ from repro.errors import (
     SearchTimeout,
     TelemetryError,
     TranslationError,
+    WorkerError,
 )
 from repro.feedback import FeedbackStore
+from repro.fleet import Fleet, FleetResult
+from repro.fleet import connect as connect_fleet
 from repro.gpos.governor import ResourceGovernor
 from repro.optimizer import (
     OptimizationResult,
@@ -72,7 +76,7 @@ from repro.telemetry import (
 )
 from repro.trace import NullTracer, TraceEvent, Tracer
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 __all__ = [
     # Session facade (stable public API)
@@ -80,6 +84,10 @@ __all__ = [
     "Session",
     "SessionMetrics",
     "SessionPool",
+    # Multi-process fleet (same surface, many processes)
+    "connect_fleet",
+    "Fleet",
+    "FleetResult",
     # Core optimizer
     "Orca",
     "OptimizationResult",
@@ -106,6 +114,8 @@ __all__ = [
     "FallbackError",
     "InjectedFault",
     "AdmissionError",
+    "FleetError",
+    "WorkerError",
     # Fault injection
     "FaultInjector",
     "FaultSpec",

@@ -340,6 +340,104 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve the TPC-DS corpus from a multi-process optimizer fleet.
+
+    Spawns ``--workers`` optimizer processes behind one endpoint, routes
+    every corpus query (``--passes`` times over), health-checks between
+    passes, then drains.  With ``--chaos-rate`` / ``--kill-every`` set
+    this doubles as the chaos soak: faults kill or wedge workers, the
+    orchestrator restarts them, and the exit status asserts the
+    availability contract — 0 only if every request was served AND every
+    worker drained cleanly.
+    """
+    import json
+
+    from repro.fleet import connect as fleet_connect
+    from repro.service.faults import FaultSpec
+    from repro.telemetry import parse_prometheus
+    from repro.workloads import QUERIES
+
+    db = build_populated_db(scale=args.scale, seed=args.seed)
+    config = _config(args)
+    queries = QUERIES[: args.queries] if args.queries else QUERIES
+    fault_specs = ()
+    if args.wedge_site:
+        fault_specs = (FaultSpec(
+            site=args.wedge_site, kind="wedge", delay_seconds=600.0,
+        ),)
+    fleet = fleet_connect(
+        db,
+        workers=args.workers,
+        policy=args.policy,
+        config=config,
+        fault_specs=fault_specs,
+        fault_seed=args.chaos_seed,
+        fault_rate=args.chaos_rate,
+        request_timeout_seconds=args.request_timeout,
+        name="serve",
+    )
+    errors = 0
+    served = 0
+    try:
+        for pass_no in range(args.passes):
+            for i, query in enumerate(queries):
+                if args.kill_every and served and served % args.kill_every == 0:
+                    fleet.kill_worker(served // args.kill_every % args.workers)
+                try:
+                    if args.execute:
+                        fleet.execute(query.sql)
+                    else:
+                        fleet.optimize(query.sql)
+                    served += 1
+                except ReproError as exc:
+                    errors += 1
+                    print(f"-- {query.id}: error [{exc.code}]: {exc}",
+                          file=sys.stderr)
+            health = fleet.health_check()
+            sick = {k: v for k, v in health.items() if v != "ok"}
+            print(f"pass {pass_no + 1}/{args.passes}: {served} served, "
+                  f"{errors} errors, restarts={fleet.restarts_total}"
+                  + (f", health={sick}" if sick else ""))
+        stats = fleet.worker_stats()
+        for wid, s in sorted(stats.items()):
+            session = s.get("session", {})
+            print(f"worker {wid}: pid={s.get('pid')} "
+                  f"queries={session.get('queries', 0)} "
+                  f"sources={session.get('plan_sources', {})}")
+        exposition = fleet.prometheus()
+        parse_prometheus(exposition)
+        print(fleet.summary())
+    finally:
+        drained = fleet.close()
+    clean = all(info.get("drained") and info.get("exitcode") == 0
+                for info in drained.values())
+    available = fleet.availability == 1.0 and errors == 0
+    print(f"drained: {'clean' if clean else drained}")
+    if args.report:
+        report = {
+            "workers": args.workers,
+            "policy": args.policy,
+            "passes": args.passes,
+            "queries_per_pass": len(queries),
+            "served": served,
+            "errors": errors,
+            "restarts": fleet.restarts_total,
+            "availability": fleet.availability,
+            "drain_clean": clean,
+            "chaos": {"rate": args.chaos_rate, "seed": args.chaos_seed,
+                      "kill_every": args.kill_every,
+                      "wedge_site": args.wedge_site},
+            "drain": {str(k): {"drained": v.get("drained"),
+                               "exitcode": v.get("exitcode")}
+                      for k, v in drained.items()},
+        }
+        with open(args.report, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+        print(f"fleet report written to {args.report}")
+    return 0 if (clean and available) else 1
+
+
 def cmd_dump_metadata(args) -> int:
     from repro.dxl import serialize_metadata, to_string
 
@@ -462,6 +560,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve the TPC-DS corpus from a multi-process optimizer "
+             "fleet (optionally under chaos); exit 0 iff 100%% "
+             "availability and a clean drain",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="number of worker processes (default 2)",
+    )
+    p.add_argument(
+        "--policy", default="round-robin",
+        choices=["round-robin", "least-loaded", "affinity"],
+        help="request routing policy (default round-robin)",
+    )
+    p.add_argument(
+        "--queries", type=int, default=None, metavar="N",
+        help="only serve the first N corpus queries per pass (default: all)",
+    )
+    p.add_argument(
+        "--passes", type=int, default=1,
+        help="number of passes over the corpus (default 1)",
+    )
+    p.add_argument(
+        "--execute", action="store_true",
+        help="execute each query on the worker instead of just optimizing",
+    )
+    p.add_argument(
+        "--chaos-rate", type=float, default=0.0, metavar="P",
+        help="seeded random fault probability per fault-site hit, "
+             "worker-side (default 0: no chaos)",
+    )
+    p.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="SEED",
+        help="seed for the worker fault schedules (required for "
+             "--chaos-rate to fire)",
+    )
+    p.add_argument(
+        "--kill-every", type=int, default=0, metavar="N",
+        help="hard-kill a worker after every N served requests "
+             "(orchestrator-driven chaos; default 0: never)",
+    )
+    p.add_argument(
+        "--wedge-site", default=None, metavar="SITE",
+        choices=[None, "xform_apply", "stats_derive", "costing",
+                 "extraction"],
+        help="plant a wedge fault at SITE on every worker's first hit "
+             "(request timeouts must then restart it)",
+    )
+    p.add_argument(
+        "--request-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-request timeout before a worker counts as wedged "
+             "(default 60)",
+    )
+    p.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write a JSON fleet report (availability, restarts, drain "
+             "status) to PATH",
+    )
+    _add_common(p)
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("dump-metadata", help="export catalog metadata to DXL")
     p.add_argument("path")

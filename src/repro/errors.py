@@ -207,6 +207,43 @@ class AdmissionError(OptimizerError):
     code = "ADMISSION"
 
 
+class FleetError(OptimizerError):
+    """The multi-process fleet could not serve a request at all.
+
+    Raised by :class:`repro.fleet.Fleet` only after routing retries are
+    exhausted — every routable worker died or wedged faster than the
+    orchestrator could restart one.  Under the fleet's availability
+    contract this indicates a broken deployment, not a bad query.
+    """
+
+    code = "FLEET"
+
+
+class WorkerError(OptimizerError):
+    """A fleet worker reported an error the orchestrator could not map
+    back onto a local exception class.
+
+    Carries the worker-side error code/class so callers (and the CLI
+    exit-code table) can still discriminate; queries that fail in a
+    *typed* way (e.g. ``ParseError``) are re-raised as that type instead.
+    """
+
+    code = "WORKER"
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        worker: int = -1,
+        remote_code: str = "",
+        remote_class: str = "",
+    ):
+        super().__init__(message)
+        self.worker = worker
+        self.remote_code = remote_code
+        self.remote_class = remote_class
+
+
 class TelemetryError(ReproError):
     """Invalid telemetry usage: bad metric/label names, unbounded label
     cardinality (e.g. raw SQL used as a label value), type conflicts, or

@@ -1,0 +1,628 @@
+"""The fleet orchestrator: many optimizer processes, one endpoint.
+
+Where :class:`repro.service.SessionPool` bounds concurrency inside one
+Python process, :class:`Fleet` shards optimization across a pool of
+worker *processes* (GPOS §4.2 runs the search truly multi-core; a pool
+of processes is how Python gets there past the GIL) while presenting the
+same ``optimize`` / ``execute`` / ``explain`` surface as a single
+governed session:
+
+- **Routing** is pluggable (:mod:`repro.fleet.routing`): round-robin,
+  least-loaded, or fingerprint-affinity so repeat query shapes land on
+  cache-warm workers.
+- **The plan cache crosses processes**: with ``enable_plan_cache`` on,
+  every worker's LRU is backed by one
+  :class:`repro.fleet.shared.SharedPlanStore`, so a shape optimized on
+  worker A hits — and re-binds — from worker B.
+- **Health** is actively managed: requests carry a timeout, heartbeats
+  (:meth:`Fleet.health_check`) probe liveness, and a dead or wedged
+  worker is killed, restarted, and its request re-routed — the
+  availability contract is that chaos kills processes, never queries.
+- **Telemetry** flows into one :class:`repro.telemetry.MetricsRegistry`
+  (the fleet's scrape target): per-worker up/inflight gauges, routing
+  and restart counters, request latency histograms, and per-worker
+  query counters folded in whenever worker stats are collected.
+
+Results are bit-identical to single-process sessions: a worker runs the
+very same governed :class:`repro.service.Session`, so the differential
+suite pins ``Fleet`` plans against ``SessionPool`` plans text-for-text.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.catalog.database import Database
+from repro.config import OptimizerConfig
+from repro.errors import FleetError, OptimizerError, ReproError, WorkerError
+from repro.fleet.routing import RoutingPolicy, WorkerView, make_policy
+from repro.fleet.shared import SharedFeedbackBoard, SharedPlanStore
+from repro.fleet.worker import WorkerSpec, worker_main
+from repro.ops.scalar import ColRef
+from repro.search.plan import PlanNode
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.stats_store import fingerprint_query
+
+#: Fault-spec kinds that must not be re-armed on a restarted worker —
+#: re-arming a deterministic ``kill`` at hit 1 would murder every
+#: incarnation at the same site forever.
+_PROCESS_FAULT_KINDS = frozenset({"kill", "wedge"})
+
+
+@dataclass
+class FleetResult:
+    """What one fleet optimization hands back to the caller.
+
+    The picklable core of an :class:`repro.optimizer.OptimizationResult`
+    plus provenance: which worker served it.
+    """
+
+    plan: PlanNode
+    output_cols: list[ColRef]
+    output_names: list[str]
+    plan_source: str = "orca"
+    plan_cache: str = ""
+    fallback_reason: Optional[str] = None
+    stats_confidence: float = 1.0
+    opt_time_seconds: float = 0.0
+    jobs_executed: int = 0
+    feedback_hits: int = 0
+    #: Worker id that optimized this query.
+    worker: int = -1
+
+    def explain(self) -> str:
+        return self.plan.explain()
+
+
+class _Worker:
+    """Orchestrator-side handle on one worker process."""
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.process = None
+        self.conn = None
+        self.view = WorkerView(worker_id)
+        self.incarnation = 0
+        #: Cumulative per-plan-source counts already folded into the
+        #: registry (delta accounting across stats collections).
+        self.folded_sources: dict[str, int] = {}
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class Fleet:
+    """A multi-process optimizer fleet behind one session-like endpoint.
+
+    Create via :func:`repro.fleet.connect` (keyword-only, mirroring
+    :func:`repro.connect` plus the fleet knobs).  Thread-safe: requests
+    are serialized through one lock, so the fleet can sit behind a
+    multi-threaded server without interleaving pipe protocols.
+    """
+
+    def __init__(
+        self,
+        catalog: Database,
+        *,
+        workers: int = 2,
+        policy="round-robin",
+        config: Optional[OptimizerConfig] = None,
+        fallback: bool = True,
+        max_retries: int = 0,
+        retry_backoff_seconds: float = 0.0,
+        fault_specs: tuple = (),
+        per_worker_faults: Optional[dict] = None,
+        fault_seed: Optional[int] = None,
+        fault_rate: float = 0.0,
+        request_timeout_seconds: float = 60.0,
+        heartbeat_timeout_seconds: float = 5.0,
+        heartbeat_interval_seconds: Optional[float] = None,
+        shared_cache_capacity: int = 256,
+        telemetry: Optional[MetricsRegistry] = None,
+        name: str = "fleet",
+        mp_start_method: Optional[str] = None,
+        **config_kwargs,
+    ):
+        if workers < 1:
+            raise OptimizerError("a fleet needs at least 1 worker")
+        if config is None:
+            config = OptimizerConfig(**config_kwargs)
+        elif config_kwargs:
+            config = replace(config, **config_kwargs)
+        self.catalog = catalog
+        self.config = config
+        self.name = name
+        self.num_workers = workers
+        self.policy: RoutingPolicy = make_policy(policy)
+        self.fallback = fallback
+        self.max_retries = max_retries
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.fault_specs = tuple(fault_specs)
+        self.per_worker_faults = dict(per_worker_faults or {})
+        self.fault_seed = fault_seed
+        self.fault_rate = fault_rate
+        self.request_timeout_seconds = request_timeout_seconds
+        self.heartbeat_timeout_seconds = heartbeat_timeout_seconds
+        self.telemetry = (
+            telemetry if telemetry is not None else MetricsRegistry()
+        )
+        self.closed = False
+
+        methods = multiprocessing.get_all_start_methods()
+        start = mp_start_method or ("fork" if "fork" in methods else "spawn")
+        self._ctx = multiprocessing.get_context(start)
+        #: One manager process backs all cross-process state; only
+        #: started when some subsystem actually shares state.
+        self._manager = None
+        self.shared_plans: Optional[SharedPlanStore] = None
+        self.feedback_board: Optional[SharedFeedbackBoard] = None
+        if config.enable_plan_cache or config.enable_cardinality_feedback:
+            self._manager = self._ctx.Manager()
+            if config.enable_plan_cache:
+                self.shared_plans = SharedPlanStore(
+                    self._manager, capacity=shared_cache_capacity
+                )
+            if config.enable_cardinality_feedback:
+                self.feedback_board = SharedFeedbackBoard(self._manager)
+
+        self._lock = threading.RLock()
+        self._req_counter = 0
+        self.requests_attempted = 0
+        self.requests_served = 0
+        self.restarts_total = 0
+        self._workers = [_Worker(i) for i in range(workers)]
+        self.telemetry.set_gauge("fleet_workers", workers)
+        for worker in self._workers:
+            self._spawn(worker)
+
+        self._hb_stop = threading.Event()
+        self._hb_thread = None
+        if heartbeat_interval_seconds is not None:
+            self._hb_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(heartbeat_interval_seconds,),
+                daemon=True,
+            )
+            self._hb_thread.start()
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spec_for(self, worker: _Worker) -> WorkerSpec:
+        explicit = tuple(self.fault_specs) + tuple(
+            self.per_worker_faults.get(worker.worker_id, ())
+        )
+        if worker.incarnation > 0:
+            # Never re-arm process-level faults: the restarted worker
+            # must come back healthy (seeded-rate faults *are* re-armed,
+            # with a shifted seed, so soaks keep injecting).
+            explicit = tuple(
+                s for s in explicit if s.kind not in _PROCESS_FAULT_KINDS
+            )
+        return WorkerSpec(
+            catalog=self.catalog,
+            config=self.config,
+            fallback=self.fallback,
+            max_retries=self.max_retries,
+            retry_backoff_seconds=self.retry_backoff_seconds,
+            fault_specs=explicit,
+            fault_seed=self.fault_seed,
+            fault_rate=self.fault_rate,
+            shared_plans=self.shared_plans,
+            feedback_board=self.feedback_board,
+            incarnation=worker.incarnation,
+        )
+
+    def _spawn(self, worker: _Worker) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker.worker_id, child_conn, self._spec_for(worker)),
+            name=f"{self.name}-worker-{worker.worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker.process = process
+        worker.conn = parent_conn
+        worker.view.alive = True
+        worker.view.in_flight = 0
+        self.telemetry.set_gauge(
+            "fleet_worker_up", 1, worker=str(worker.worker_id)
+        )
+
+    def _restart(self, worker: _Worker, reason: str) -> None:
+        """Kill (if needed) and respawn one worker; fleet-visible."""
+        process = worker.process
+        if process is not None:
+            if process.is_alive():
+                process.kill()
+            process.join(timeout=10)
+        if worker.conn is not None:
+            worker.conn.close()
+        worker.view.alive = False
+        worker.incarnation += 1
+        worker.view.restarts += 1
+        self.restarts_total += 1
+        self.telemetry.inc(
+            "fleet_restarts_total",
+            worker=str(worker.worker_id), reason=reason,
+        )
+        self.telemetry.set_gauge(
+            "fleet_worker_up", 0, worker=str(worker.worker_id)
+        )
+        self._spawn(worker)
+
+    # ------------------------------------------------------------------
+    # Request routing
+    # ------------------------------------------------------------------
+    def _next_id(self) -> int:
+        self._req_counter += 1
+        return self._req_counter
+
+    def _views(self) -> list[WorkerView]:
+        return [w.view for w in self._workers]
+
+    def _raise_remote(self, worker_id: int, response: dict) -> None:
+        """Re-raise a worker-side typed error as faithfully as possible."""
+        import repro.errors as errors_mod
+
+        cls = getattr(errors_mod, response.get("error_class", ""), None)
+        message = response.get("message", "")
+        if cls is not None and issubclass(cls, ReproError):
+            try:
+                raise cls(message)
+            except TypeError:
+                pass  # constructor needs more than a message
+        raise WorkerError(
+            message,
+            worker=worker_id,
+            remote_code=response.get("code", ""),
+            remote_class=response.get("error_class", ""),
+        )
+
+    def _request(self, kind: str, payload: dict, sql: Optional[str] = None):
+        """Route one request, restarting and re-routing around failures.
+
+        Returns ``(response, worker_id)``; raises the remote error for a
+        typed worker-side failure and :class:`FleetError` only when no
+        worker could be made to serve the request at all.
+        """
+        if self.closed:
+            raise OptimizerError(f"fleet '{self.name}' is closed")
+        fp = ""
+        if sql is not None:
+            fp = fingerprint_query(sql)[0]
+        with self._lock:
+            self.requests_attempted += 1
+            attempts = 2 * len(self._workers) + 2
+            for _ in range(attempts):
+                worker_id = self.policy.choose(fp, self._views())
+                worker = self._workers[worker_id]
+                if not worker.alive:
+                    self._restart(worker, "died")
+                worker.view.routed += 1
+                self.telemetry.inc(
+                    "fleet_routing_total",
+                    policy=self.policy.name, worker=str(worker_id),
+                )
+                request = {"id": self._next_id(), "kind": kind, **payload}
+                worker.view.in_flight += 1
+                start = time.perf_counter()
+                try:
+                    worker.conn.send(request)
+                    if not worker.conn.poll(self.request_timeout_seconds):
+                        raise TimeoutError
+                    response = worker.conn.recv()
+                except TimeoutError:
+                    worker.view.in_flight -= 1
+                    self.telemetry.inc(
+                        "fleet_requests_total", outcome="retry_wedged"
+                    )
+                    self._restart(worker, "wedged")
+                    continue
+                except (EOFError, OSError):
+                    worker.view.in_flight -= 1
+                    self.telemetry.inc(
+                        "fleet_requests_total", outcome="retry_dead"
+                    )
+                    self._restart(worker, "died")
+                    continue
+                worker.view.in_flight -= 1
+                worker.view.completed += 1
+                self.telemetry.observe(
+                    "fleet_request_seconds", time.perf_counter() - start
+                )
+                if not response.get("ok", False):
+                    self.telemetry.inc(
+                        "fleet_requests_total", outcome="error"
+                    )
+                    self._raise_remote(worker_id, response)
+                self.requests_served += 1
+                self.telemetry.inc("fleet_requests_total", outcome="ok")
+                return response, worker_id
+            self.telemetry.inc("fleet_requests_total", outcome="unroutable")
+            raise FleetError(
+                f"no worker could serve the request after {attempts} "
+                f"routing attempts ({self.restarts_total} restarts so far)"
+            )
+
+    # ------------------------------------------------------------------
+    # The session-compatible surface
+    # ------------------------------------------------------------------
+    def optimize(self, sql: str) -> FleetResult:
+        """Optimize on some worker; always yields a plan (same contract
+        as a governed session — fallback happens worker-side)."""
+        response, worker_id = self._request("optimize", {"sql": sql}, sql=sql)
+        result = FleetResult(
+            plan=response["plan"],
+            output_cols=response["output_cols"],
+            output_names=response["output_names"],
+            plan_source=response["plan_source"],
+            plan_cache=response["plan_cache"],
+            fallback_reason=response["fallback_reason"],
+            stats_confidence=response["stats_confidence"],
+            opt_time_seconds=response["opt_time_seconds"],
+            jobs_executed=response["jobs_executed"],
+            feedback_hits=response["feedback_hits"],
+            worker=worker_id,
+        )
+        self.telemetry.inc(
+            "queries_total", plan_source=result.plan_source
+        )
+        self.telemetry.observe(
+            "optimization_seconds", result.opt_time_seconds
+        )
+        return result
+
+    def execute(self, sql: str, analyze: bool = False):
+        """Optimize and execute on some worker; returns the
+        :class:`repro.engine.executor.ExecutionResult` (with per-node
+        actuals when the worker runs the feedback loop or ``analyze``)."""
+        response, worker_id = self._request(
+            "execute", {"sql": sql, "analyze": analyze}, sql=sql
+        )
+        self.telemetry.inc(
+            "queries_total", plan_source=response["plan_source"]
+        )
+        execution = response["execution"]
+        execution.worker = worker_id
+        return execution
+
+    def explain(self, sql: str) -> str:
+        """The worker-rendered plan, provenance banner included."""
+        response, _ = self._request("explain", {"sql": sql}, sql=sql)
+        return response["text"]
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def _probe(self, worker: _Worker) -> str:
+        """Ping one worker; restart on silence/death.  Returns outcome."""
+        if not worker.alive:
+            self._restart(worker, "died")
+            return "restarted_dead"
+        request = {"id": self._next_id(), "kind": "ping"}
+        try:
+            worker.conn.send(request)
+            if not worker.conn.poll(self.heartbeat_timeout_seconds):
+                raise TimeoutError
+            worker.conn.recv()
+        except TimeoutError:
+            self._restart(worker, "wedged")
+            return "restarted_wedged"
+        except (EOFError, OSError):
+            self._restart(worker, "died")
+            return "restarted_dead"
+        return "ok"
+
+    def health_check(self) -> dict[int, str]:
+        """Heartbeat every worker, restarting the sick; id -> outcome."""
+        out: dict[int, str] = {}
+        with self._lock:
+            for worker in self._workers:
+                outcome = self._probe(worker)
+                out[worker.worker_id] = outcome
+                self.telemetry.inc(
+                    "fleet_heartbeats_total",
+                    worker=str(worker.worker_id), outcome=outcome,
+                )
+        return out
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._hb_stop.wait(interval):
+            if self.closed:
+                return
+            try:
+                self.health_check()
+            except Exception:  # pragma: no cover - monitor must not die
+                pass
+
+    # ------------------------------------------------------------------
+    # Chaos handles (deterministic, orchestrator-driven)
+    # ------------------------------------------------------------------
+    def kill_worker(self, worker_id: int) -> None:
+        """Hard-kill one worker (``os._exit`` inside the process), then
+        restart it — the orchestrator-driven half of the chaos matrix."""
+        with self._lock:
+            worker = self._workers[worker_id]
+            if worker.alive:
+                try:
+                    worker.conn.send(
+                        {"id": self._next_id(), "kind": "die"}
+                    )
+                    worker.process.join(timeout=10)
+                except (BrokenPipeError, OSError):
+                    pass
+            self._restart(worker, "chaos_kill")
+
+    def wedge_worker(self, worker_id: int, seconds: float = 3600.0) -> None:
+        """Wedge one worker (blocks inside the request loop); the next
+        probe or routed request times out and triggers the restart."""
+        with self._lock:
+            worker = self._workers[worker_id]
+            try:
+                worker.conn.send({
+                    "id": self._next_id(), "kind": "wedge",
+                    "seconds": seconds,
+                })
+            except (BrokenPipeError, OSError):
+                self._restart(worker, "died")
+
+    # ------------------------------------------------------------------
+    # Stats / maintenance
+    # ------------------------------------------------------------------
+    def _fold_worker_stats(self, worker: _Worker, stats: dict) -> None:
+        """Delta-merge one worker's session counters into the registry."""
+        sources = stats.get("session", {}).get("plan_sources", {})
+        for source, count in sources.items():
+            seen = worker.folded_sources.get(source, 0)
+            if count > seen:
+                self.telemetry.inc(
+                    "fleet_worker_queries_total",
+                    count - seen,
+                    worker=str(worker.worker_id), plan_source=source,
+                )
+                worker.folded_sources[source] = count
+
+    def worker_stats(self) -> dict[int, dict]:
+        """Collect per-worker session/cache/feedback stats (and fold the
+        query counters into the fleet registry)."""
+        out: dict[int, dict] = {}
+        with self._lock:
+            for worker in self._workers:
+                try:
+                    response, _ = self._request_to(worker, "stats", {})
+                except (FleetError, OptimizerError):
+                    continue
+                out[worker.worker_id] = response
+                self._fold_worker_stats(worker, response)
+        return out
+
+    def _request_to(self, worker: _Worker, kind: str, payload: dict):
+        """One direct (non-routed) request to a specific worker."""
+        if not worker.alive:
+            self._restart(worker, "died")
+        request = {"id": self._next_id(), "kind": kind, **payload}
+        try:
+            worker.conn.send(request)
+            if not worker.conn.poll(self.request_timeout_seconds):
+                raise TimeoutError
+            response = worker.conn.recv()
+        except TimeoutError:
+            self._restart(worker, "wedged")
+            raise FleetError(f"worker {worker.worker_id} wedged on {kind}")
+        except (EOFError, OSError):
+            self._restart(worker, "died")
+            raise FleetError(f"worker {worker.worker_id} died on {kind}")
+        if not response.get("ok", False):
+            self._raise_remote(worker.worker_id, response)
+        return response, worker.worker_id
+
+    def bump_catalog(self, table: Optional[str] = None) -> None:
+        """Broadcast a catalog ANALYZE (metadata version bump) to every
+        worker; their next optimizations run the fleet-wide stale sweep."""
+        with self._lock:
+            for worker in self._workers:
+                self._request_to(worker, "bump_catalog", {"table": table})
+
+    @property
+    def availability(self) -> float:
+        """Served / attempted requests (the chaos suite pins this at 1.0)."""
+        if self.requests_attempted == 0:
+            return 1.0
+        return self.requests_served / self.requests_attempted
+
+    def prometheus(self) -> str:
+        return self.telemetry.to_prometheus()
+
+    def summary(self) -> str:
+        ups = sum(1 for w in self._workers if w.alive)
+        return (
+            f"fleet '{self.name}': {ups}/{len(self._workers)} workers up, "
+            f"{self.requests_served}/{self.requests_attempted} requests "
+            f"served, {self.restarts_total} restarts, "
+            f"availability {self.availability:.3f}"
+        )
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def drain(self) -> dict[int, dict]:
+        """Gracefully drain every worker: collect final stats, wait for
+        clean exits.  Returns id -> {"drained": bool, "exitcode": int}."""
+        out: dict[int, dict] = {}
+        with self._lock:
+            for worker in self._workers:
+                info = {"drained": False, "exitcode": None}
+                if worker.alive:
+                    try:
+                        request = {"id": self._next_id(), "kind": "drain"}
+                        worker.conn.send(request)
+                        if worker.conn.poll(self.request_timeout_seconds):
+                            response = worker.conn.recv()
+                            if response.get("drained"):
+                                info["drained"] = True
+                                self._fold_worker_stats(worker, response)
+                                info["stats"] = {
+                                    k: response.get(k)
+                                    for k in ("session", "plan_cache",
+                                              "feedback")
+                                }
+                    except (BrokenPipeError, EOFError, OSError):
+                        pass
+                    worker.process.join(timeout=10)
+                if worker.process is not None:
+                    if worker.process.is_alive():
+                        worker.process.kill()
+                        worker.process.join(timeout=10)
+                    info["exitcode"] = worker.process.exitcode
+                worker.view.alive = False
+                self.telemetry.set_gauge(
+                    "fleet_worker_up", 0, worker=str(worker.worker_id)
+                )
+                out[worker.worker_id] = info
+        return out
+
+    def close(self) -> dict[int, dict]:
+        """Drain, stop the heartbeat, and shut shared state down."""
+        if self.closed:
+            return {}
+        self._hb_stop.set()
+        drained = self.drain()
+        self.closed = True
+        if self._hb_thread is not None:
+            self._hb_thread.join(timeout=5)
+        if self._manager is not None:
+            self._manager.shutdown()
+        return drained
+
+    def __enter__(self) -> "Fleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Fleet({self.name!r}, workers={len(self._workers)}, "
+            f"policy={self.policy.name!r})"
+        )
+
+
+def connect(catalog: Database, **kwargs) -> Fleet:
+    """Open a multi-process optimizer fleet — the ``repro.connect`` of
+    fleets.  Keyword arguments are :class:`Fleet` options; unknown
+    keywords are :class:`repro.config.OptimizerConfig` fields, exactly
+    like :func:`repro.connect`::
+
+        fleet = repro.fleet.connect(db, workers=4, policy="affinity",
+                                    enable_plan_cache=True)
+        result = fleet.optimize("SELECT ...")   # served by some worker
+    """
+    return Fleet(catalog, **kwargs)

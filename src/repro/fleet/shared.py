@@ -1,0 +1,196 @@
+"""Cross-process shared state: the fleet's plan cache and feedback board.
+
+A fleet worker is a whole Python process, so nothing in-process — the
+LRU :class:`repro.plancache.PlanCache`, the
+:class:`repro.feedback.FeedbackStore` — is visible to its siblings.
+This module bridges that gap through ``multiprocessing.Manager`` proxies
+(picklable handles onto dicts living in the manager server process):
+
+- :class:`SharedPlanStore` holds *pickled* :class:`~repro.plancache.CachedPlan`
+  entries keyed by the same ``(shape, config, catalog-versions)`` tuples
+  the local caches use.  A worker's local miss adopts the shared entry
+  (see ``PlanCache.shared``); a worker's store publishes.  Staleness and
+  feedback invalidation propagate fleet-wide because the entry value
+  carries its catalog versions and feedback shapes alongside the blob,
+  so eviction never needs to unpickle a plan.
+
+- :class:`SharedFeedbackStore` extends the in-process feedback store
+  with a shared *board* of ``shape -> (observed_rows, observations)``:
+  every ingest publishes the entries it touched, and a correction
+  lookup that misses locally adopts the board's entry — so cardinality
+  actuals observed by worker A improve worker B's next estimate.
+
+Keys are sent to the manager server pickled and hashed *there*, which
+sidesteps per-process string-hash randomization; values are opaque
+bytes/tuples, so proxy round-trips stay cheap and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.feedback import FeedbackEntry, FeedbackStore, IngestReport
+
+
+class SharedPlanStore:
+    """Cross-process plan-cache backing store (manager-dict based).
+
+    Values are ``(seq, shapes, catalog_versions, blob)`` tuples; ``seq``
+    is a monotonically increasing publish sequence used for bounded
+    FIFO eviction, and ``shapes`` / ``catalog_versions`` make
+    invalidation decisions possible without unpickling ``blob``.
+    """
+
+    def __init__(self, manager, capacity: int = 256):
+        self.capacity = max(int(capacity), 1)
+        self._entries = manager.dict()
+        self._counters = manager.dict()
+        self._lock = manager.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _inc(self, counter: str, amount: int = 1) -> None:
+        self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    # ------------------------------------------------------------------
+    def get(self, key: tuple) -> Optional[bytes]:
+        """The pickled entry for ``key``, or None."""
+        value = self._entries.get(key)
+        with self._lock:
+            if value is None:
+                self._inc("misses")
+                return None
+            self._inc("hits")
+        return value[3]
+
+    def put(self, key: tuple, blob: bytes, *, shapes: frozenset = frozenset(),
+            catalog_versions: tuple = ()) -> None:
+        """Publish one entry, evicting oldest publishes beyond capacity."""
+        with self._lock:
+            seq = self._counters.get("seq", 0) + 1
+            self._counters["seq"] = seq
+            self._entries[key] = (seq, shapes, catalog_versions, blob)
+            self._inc("publishes")
+            while len(self._entries) > self.capacity:
+                victim = min(
+                    self._entries.items(), key=lambda item: item[1][0]
+                )[0]
+                del self._entries[victim]
+                self._inc("evictions")
+
+    # ------------------------------------------------------------------
+    def evict_stale(self, current_versions: tuple) -> int:
+        """Drop every entry optimized against different catalog versions."""
+        with self._lock:
+            stale = [
+                key for key, value in self._entries.items()
+                if value[2] != current_versions
+            ]
+            for key in stale:
+                del self._entries[key]
+            self._inc("stale_evictions", len(stale))
+        return len(stale)
+
+    def invalidate_shapes(self, changed: frozenset) -> int:
+        """Drop every entry whose plan depends on a changed feedback shape."""
+        if not changed:
+            return 0
+        with self._lock:
+            dead = [
+                key for key, value in self._entries.items()
+                if value[1] & changed
+            ]
+            for key in dead:
+                del self._entries[key]
+            self._inc("shape_invalidations", len(dead))
+        return len(dead)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        out = dict(self._counters)
+        out.pop("seq", None)
+        for key in ("hits", "misses", "publishes", "evictions",
+                    "stale_evictions", "shape_invalidations"):
+            out.setdefault(key, 0)
+        out["entries"] = len(self._entries)
+        return out
+
+
+class SharedFeedbackBoard:
+    """The manager-backed ``shape -> (rows, observations)`` board."""
+
+    def __init__(self, manager):
+        self._entries = manager.dict()
+        self._lock = manager.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def publish(self, shape: tuple, rows: float, observations: int) -> None:
+        with self._lock:
+            existing = self._entries.get(shape)
+            # Keep the better-observed record when two workers race.
+            if existing is None or observations >= existing[1]:
+                self._entries[shape] = (rows, observations)
+
+    def get(self, shape: tuple):
+        return self._entries.get(shape)
+
+    def snapshot(self) -> dict:
+        return dict(self._entries)
+
+
+class SharedFeedbackStore(FeedbackStore):
+    """A FeedbackStore whose observations cross process boundaries.
+
+    Ingests behave exactly like the base store locally, then publish
+    every entry they touched to the shared board; correction lookups
+    that miss locally adopt the board's entry first.  Adopted entries
+    are dated at the adopting store's current generation, so staleness
+    decay stays a local, deterministic function of the local ingest
+    sequence.
+    """
+
+    def __init__(self, *, board: SharedFeedbackBoard, **kwargs):
+        super().__init__(**kwargs)
+        self.board = board
+        #: Entries first observed by another worker and adopted here.
+        self.adopted = 0
+
+    def ingest(self, plan, analysis) -> IngestReport:
+        report = super().ingest(plan, analysis)
+        for entry in self._entries.values():
+            if entry.last_generation == self.generation:
+                self.board.publish(
+                    entry.shape, entry.observed_rows, entry.observations
+                )
+        return report
+
+    def _pull(self, shape: tuple) -> None:
+        if shape in self._entries:
+            return
+        posted = self.board.get(shape)
+        if posted is None:
+            return
+        rows, observations = posted
+        self._admit(FeedbackEntry(
+            shape=shape,
+            observed_rows=rows,
+            observations=observations,
+            last_generation=self.generation,
+        ))
+        self.adopted += 1
+
+    def correction(self, shape: tuple):
+        self._pull(shape)
+        return super().correction(shape)
+
+    def entry(self, shape: tuple):
+        self._pull(shape)
+        return super().entry(shape)
+
+    def stats(self) -> dict[str, int]:
+        out = super().stats()
+        out["adopted"] = self.adopted
+        return out

@@ -1,0 +1,201 @@
+"""The fleet worker: one governed optimizer session in its own process.
+
+``worker_main`` is the process entry point.  It builds a
+:class:`repro.service.Session` over the spec's catalog — wiring in the
+shared plan store, the shared feedback board, and (for chaos runs) a
+deterministic :class:`repro.service.FaultInjector` — then serves
+requests off its pipe until drained or killed.
+
+The protocol is one request dict in, one response dict out, in order
+(the orchestrator never pipelines to a single worker).  Every response
+echoes the request ``id``; ``ok`` distinguishes results from typed
+errors.  Anything that cannot be pickled back — or any unexpected
+exception — is downgraded to an error response rather than killing the
+worker, so only *injected* process faults (kill/wedge) and real crashes
+take a worker down.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import OptimizerConfig
+from repro.errors import ReproError
+from repro.service.faults import FaultInjector, FaultSpec, KILLED_EXIT_CODE
+from repro.service.session import Session
+
+#: Request kinds a worker understands.
+REQUEST_KINDS = (
+    "optimize", "execute", "explain", "ping", "stats", "bump_catalog",
+    "drain", "die", "wedge",
+)
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker process needs to come up (fully picklable)."""
+
+    catalog: object
+    config: OptimizerConfig = field(default_factory=OptimizerConfig)
+    fallback: bool = True
+    max_retries: int = 0
+    retry_backoff_seconds: float = 0.0
+    #: Explicit fault schedule for this incarnation ('()' = none).
+    fault_specs: tuple = ()
+    #: Seeded random fault injection (CRC32 schedule; see service.faults).
+    fault_seed: Optional[int] = None
+    fault_rate: float = 0.0
+    #: Cross-process plan store proxy (repro.fleet.shared.SharedPlanStore).
+    shared_plans: object = None
+    #: Cross-process feedback board (repro.fleet.shared.SharedFeedbackBoard).
+    feedback_board: object = None
+    #: 0 for the original spawn, +1 per restart; shifts the fault seed so
+    #: a restarted worker does not deterministically re-die at the same
+    #: site (the orchestrator also strips explicit kill/wedge specs).
+    incarnation: int = 0
+
+
+def build_session(worker_id: int, spec: WorkerSpec) -> Session:
+    """Construct the worker's governed session from its spec."""
+    faults = None
+    if spec.fault_specs or (spec.fault_seed is not None and spec.fault_rate > 0):
+        seed = spec.fault_seed
+        if seed is not None:
+            seed = seed + 1009 * spec.incarnation + worker_id
+        faults = FaultInjector(
+            [FaultSpec(**s) if isinstance(s, dict) else s
+             for s in spec.fault_specs],
+            seed=seed,
+            rate=spec.fault_rate,
+        )
+    feedback_store = None
+    if spec.config.enable_cardinality_feedback and spec.feedback_board is not None:
+        from repro.fleet.shared import SharedFeedbackStore
+
+        feedback_store = SharedFeedbackStore(board=spec.feedback_board)
+    session = Session(
+        spec.catalog,
+        config=spec.config,
+        fallback=spec.fallback,
+        max_retries=spec.max_retries,
+        retry_backoff_seconds=spec.retry_backoff_seconds,
+        name=f"worker-{worker_id}",
+        faults=faults,
+        feedback_store=feedback_store,
+    )
+    if session.orca.plan_cache is not None and spec.shared_plans is not None:
+        session.orca.plan_cache.shared = spec.shared_plans
+    return session
+
+
+def _optimize_payload(session: Session, result) -> dict:
+    """The picklable slice of an OptimizationResult a client needs."""
+    return {
+        "plan": result.plan,
+        "output_cols": result.output_cols,
+        "output_names": result.output_names,
+        "plan_source": result.plan_source,
+        "plan_cache": result.plan_cache,
+        "fallback_reason": result.fallback_reason,
+        "stats_confidence": result.stats_confidence,
+        "opt_time_seconds": result.opt_time_seconds,
+        "jobs_executed": result.search_stats.jobs_executed,
+        "feedback_hits": result.search_stats.feedback_hits,
+    }
+
+
+def _worker_stats(session: Session) -> dict:
+    cache = session.orca.plan_cache
+    feedback = session.feedback
+    return {
+        "session": session.metrics.as_dict(),
+        "plan_cache": cache.stats() if cache is not None else None,
+        "feedback": feedback.stats() if feedback is not None else None,
+        "pid": os.getpid(),
+    }
+
+
+def handle_request(session: Session, request: dict) -> dict:
+    """Serve one request; returns the response dict (sans request id)."""
+    kind = request["kind"]
+    if kind == "optimize":
+        result = session.optimize(request["sql"])
+        return {"ok": True, **_optimize_payload(session, result)}
+    if kind == "execute":
+        execution = session.execute(
+            request["sql"], analyze=request.get("analyze", False)
+        )
+        return {
+            "ok": True,
+            "execution": execution,
+            "plan_source": session.last_result.plan_source,
+            "plan_cache": session.last_result.plan_cache,
+        }
+    if kind == "explain":
+        return {"ok": True, "text": session.explain(request["sql"])}
+    if kind == "ping":
+        return {"ok": True, "pong": True, "pid": os.getpid(),
+                "queries": session.metrics.queries}
+    if kind == "stats":
+        return {"ok": True, **_worker_stats(session)}
+    if kind == "bump_catalog":
+        # DDL/ANALYZE propagation: re-ANALYZE bumps the per-table
+        # metadata versions, and the next optimize on this worker
+        # triggers the stale sweep — locally and in the shared store.
+        session.catalog.analyze(request.get("table"))
+        return {"ok": True}
+    if kind == "die":
+        # Orchestrator-driven chaos: die without ceremony, mid-protocol.
+        os._exit(KILLED_EXIT_CODE)
+    if kind == "wedge":
+        time.sleep(request.get("seconds", 3600.0))
+        return {"ok": True}
+    return {
+        "ok": False, "error_class": "OptimizerError", "code": "FLEET",
+        "message": f"unknown request kind {kind!r}",
+    }
+
+
+def worker_main(worker_id: int, conn, spec: WorkerSpec) -> None:
+    """Process entry point: serve requests until drained."""
+    session = build_session(worker_id, spec)
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            break  # orchestrator went away; nothing left to serve
+        req_id = request.get("id")
+        if request["kind"] == "drain":
+            conn.send({
+                "id": req_id, "ok": True, "drained": True,
+                **_worker_stats(session),
+            })
+            break
+        try:
+            response = handle_request(session, request)
+        except ReproError as exc:
+            response = {
+                "ok": False,
+                "error_class": type(exc).__name__,
+                "code": exc.code,
+                "message": str(exc),
+            }
+        except Exception as exc:  # pragma: no cover - defensive
+            response = {
+                "ok": False, "error_class": type(exc).__name__,
+                "code": "WORKER", "message": str(exc),
+            }
+        response["id"] = req_id
+        try:
+            conn.send(response)
+        except Exception as exc:
+            # Unpicklable payload: degrade to an error, keep serving.
+            conn.send({
+                "id": req_id, "ok": False, "error_class": type(exc).__name__,
+                "code": "WORKER",
+                "message": f"response serialization failed: {exc}",
+            })
+    conn.close()

@@ -95,6 +95,17 @@ class ScalarExpr:
             key.__doc__ = raw.__doc__
             cls.key = key
 
+    #: Per-instance caches that must never cross a process boundary:
+    #: compiled vector/row closures are unpicklable locals, and the
+    #: interned key must be re-interned in the receiving process.
+    _UNPICKLED = ("_vec_cache", "_row_cache", "_cached_key")
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        for name in self._UNPICKLED:
+            state.pop(name, None)
+        return state
+
     @property
     def dtype(self) -> DataType:
         raise NotImplementedError

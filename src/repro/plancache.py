@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import copy
 import enum
+import pickle
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Optional
@@ -53,6 +54,15 @@ from repro.trace import NULL_TRACER
 
 #: Marker standing in for one parameterized literal in a fingerprint.
 _PARAM = "?"
+
+
+def _dumps(entry: "CachedPlan") -> bytes:
+    """Serialize one cache entry for the cross-process shared store."""
+    return pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _loads(blob: bytes) -> "CachedPlan":
+    return pickle.loads(blob)
 
 
 # ----------------------------------------------------------------------
@@ -204,12 +214,22 @@ class CacheHit:
 
 
 class PlanCache:
-    """LRU cache of optimized plans keyed by normalized query shape."""
+    """LRU cache of optimized plans keyed by normalized query shape.
 
-    def __init__(self, capacity: int = 64, tracer=None, metrics=None):
+    ``shared`` optionally plugs in a cross-process backing store (the
+    fleet's :class:`repro.fleet.shared.SharedPlanStore`): local misses
+    consult it before giving up, and local stores publish to it, so a
+    shape optimized by one worker process serves cache hits — including
+    re-binds — from every other worker.
+    """
+
+    def __init__(self, capacity: int = 64, tracer=None, metrics=None,
+                 shared=None):
         self.capacity = max(capacity, 1)
         self.tracer = tracer or NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: Cross-process backing store, or None (single-process cache).
+        self.shared = shared
         self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -222,14 +242,37 @@ class PlanCache:
         #: Entries dropped because a feedback ingest changed an observed
         #: cardinality one of their nodes depends on (also in ``evictions``).
         self.feedback_invalidations = 0
+        #: Local misses answered by the shared cross-process store, and
+        #: entries published to it (both zero without ``shared``).
+        self.shared_hits = 0
+        self.shared_stores = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     # ------------------------------------------------------------------
+    def _adopt_shared(self, key: tuple) -> Optional[CachedPlan]:
+        """Pull ``key`` from the shared store into the local LRU."""
+        if self.shared is None:
+            return None
+        blob = self.shared.get(key)
+        if blob is None:
+            return None
+        entry: CachedPlan = _loads(blob)
+        self._entries[key] = entry
+        self.shared_hits += 1
+        if self.metrics.enabled:
+            self.metrics.inc("plan_cache_events_total", event="shared_hit")
+        if self.tracer.enabled:
+            self.tracer.record("plan_cache_shared_hit", key=hash(key))
+        self._trim()
+        return entry
+
     def lookup(self, key: tuple, params: tuple) -> Optional[CacheHit]:
         """Return a reusable plan for ``key`` bound to ``params``, if any."""
         entry = self._entries.get(key)
+        if entry is None:
+            entry = self._adopt_shared(key)
         if entry is None:
             return self._miss(key)
         if entry.params == params:
@@ -282,7 +325,7 @@ class PlanCache:
     ) -> None:
         """Cache one optimization outcome, evicting LRU entries beyond
         capacity."""
-        self._entries[key] = CachedPlan(
+        entry = CachedPlan(
             plan=copy.deepcopy(plan),
             output_cols=list(output_cols),
             output_names=list(output_names),
@@ -292,12 +335,26 @@ class PlanCache:
             shapes=shapes,
             catalog_versions=catalog_versions,
         )
+        self._entries[key] = entry
         self._entries.move_to_end(key)
         self.stores += 1
         if self.metrics.enabled:
             self.metrics.inc("plan_cache_events_total", event="store")
         if self.tracer.enabled:
             self.tracer.record("plan_cache_store", key=hash(key))
+        if self.shared is not None:
+            self.shared.put(
+                key, _dumps(entry),
+                shapes=shapes, catalog_versions=catalog_versions,
+            )
+            self.shared_stores += 1
+            if self.metrics.enabled:
+                self.metrics.inc(
+                    "plan_cache_events_total", event="shared_store"
+                )
+        self._trim()
+
+    def _trim(self) -> None:
         while len(self._entries) > self.capacity:
             evicted, _ = self._entries.popitem(last=False)
             self.evictions += 1
@@ -315,7 +372,11 @@ class PlanCache:
         the LRU evicting live plans.  Called by the optimizer whenever it
         observes the catalog versions changing (the Section 4.1 metadata
         versioning made the staleness detectable; this makes it acted on).
+        With a shared backing store the eviction is fleet-wide: stale
+        entries are purged from the cross-process store too.
         """
+        if self.shared is not None:
+            self.shared.evict_stale(current_versions)
         stale = [
             key for key, entry in self._entries.items()
             if entry.catalog_versions != current_versions
@@ -345,6 +406,8 @@ class PlanCache:
         """
         if not changed:
             return 0
+        if self.shared is not None:
+            self.shared.invalidate_shapes(changed)
         dead = [
             key for key, entry in self._entries.items()
             if entry.shapes & changed
@@ -373,6 +436,8 @@ class PlanCache:
             "evictions": self.evictions,
             "stale_evictions": self.stale_evictions,
             "feedback_invalidations": self.feedback_invalidations,
+            "shared_hits": self.shared_hits,
+            "shared_stores": self.shared_stores,
             "entries": len(self._entries),
         }
 

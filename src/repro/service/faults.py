@@ -23,10 +23,21 @@ Fault kinds: ``error`` raises :class:`repro.errors.InjectedFault`;
 ``delay`` sleeps ``delay_seconds`` (to trip wall-clock deadlines);
 ``alloc`` charges ``alloc_bytes`` to the session's resource governor (to
 trip memory quotas — an allocation spike without actually allocating).
+
+Two further kinds exist for the multi-process fleet
+(:mod:`repro.fleet`), where the blast radius is a whole worker process
+rather than one query: ``kill`` hard-exits the process mid-optimization
+(``os._exit``, no cleanup — a segfaulting worker), and ``wedge`` blocks
+inside the fault site for ``delay_seconds`` (default: effectively
+forever — a deadlocked worker).  The orchestrator must detect both via
+heartbeats / request timeouts and restart the worker; neither kind is
+meaningful in a single-process session (``kill`` would take the test
+runner down with it).
 """
 
 from __future__ import annotations
 
+import os
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -37,8 +48,18 @@ from repro.errors import InjectedFault
 #: The instrumented sites, in pipeline order.
 FAULT_SITES = ("xform_apply", "stats_derive", "costing", "extraction")
 
-#: Fault kinds a spec may request.
-FAULT_KINDS = ("error", "delay", "alloc")
+#: Fault kinds a spec may request.  ``kill`` and ``wedge`` are
+#: process-level (fleet chaos); the rest are per-query.
+FAULT_KINDS = ("error", "delay", "alloc", "kill", "wedge")
+
+#: Exit status a ``kill`` fault dies with (distinct from any Python
+#: traceback exit, so the orchestrator's restart accounting can assert
+#: the death was the injected one).
+KILLED_EXIT_CODE = 86
+
+#: How long a ``wedge`` fault blocks when the spec does not say
+#: (practically forever next to any request timeout).
+WEDGE_SECONDS = 3600.0
 
 
 @dataclass(frozen=True)
@@ -147,6 +168,10 @@ class FaultInjector:
         elif spec.kind == "alloc":
             if self.governor is not None:
                 self.governor.charge_memory(spec.alloc_bytes)
+        elif spec.kind == "kill":
+            os._exit(KILLED_EXIT_CODE)
+        elif spec.kind == "wedge":
+            time.sleep(spec.delay_seconds or WEDGE_SECONDS)
         else:
             raise InjectedFault(site, hit, transient=spec.transient)
 

@@ -19,6 +19,8 @@ import repro
 EXPECTED_ALL = frozenset({
     # session facade
     "connect", "Session", "SessionMetrics", "SessionPool",
+    # multi-process fleet
+    "connect_fleet", "Fleet", "FleetResult",
     # core optimizer
     "Orca", "OptimizationResult", "SearchStats", "PLAN_SOURCES",
     "OptimizerConfig", "OptimizationStage", "LegacyPlanner",
@@ -29,6 +31,7 @@ EXPECTED_ALL = frozenset({
     "ReproError", "OptimizerError", "ParseError", "TranslationError",
     "NoPlanError", "SearchTimeout", "MemoryQuotaExceeded",
     "FallbackError", "InjectedFault", "AdmissionError",
+    "FleetError", "WorkerError",
     # fault injection
     "FaultInjector", "FaultSpec",
     # tracing
@@ -104,6 +107,8 @@ class TestExceptionHierarchy:
             repro.InjectedFault,
             repro.AdmissionError,
             repro.NoPlanError,
+            repro.FleetError,
+            repro.WorkerError,
         ):
             assert issubclass(exc, repro.OptimizerError), exc
             assert issubclass(exc, repro.ReproError), exc

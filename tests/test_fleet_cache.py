@@ -1,0 +1,198 @@
+"""Cross-process plan-cache and feedback sharing (fleet satellite).
+
+The single-process plan cache (tests/test_plancache.py) is an LRU
+private to its optimizer.  In a fleet, every worker's cache is backed by
+one manager-hosted :class:`~repro.fleet.shared.SharedPlanStore`, and
+these tests pin the sharing semantics end to end:
+
+- a shape optimized on worker A is served as a *cache hit* on worker B
+  (adopted from the shared store — worker B never ran the search);
+- re-binding works across processes: B re-binds A's plan to new
+  literals;
+- a catalog-version bump evicts fleet-wide: after ``bump_catalog`` the
+  shared store is purged too, so no worker can adopt a stale plan;
+- cardinality feedback crosses processes the same way (worker B adopts
+  worker A's observed actuals from the shared board).
+
+Plus unit-level coverage of SharedPlanStore / SharedFeedbackBoard with
+two in-process PlanCache / FeedbackStore instances — the same protocol
+without any worker processes in the loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+import repro
+from repro.config import OptimizerConfig
+from repro.fleet import SharedFeedbackBoard, SharedFeedbackStore, SharedPlanStore
+from repro.optimizer import Orca
+
+from tests.conftest import make_small_db
+
+SQL = "SELECT a, b FROM t1 WHERE b = 42 ORDER BY a, b LIMIT 10"
+
+
+@pytest.fixture(scope="module")
+def cache_db():
+    return make_small_db(t1_rows=2000, t2_rows=300)
+
+
+@pytest.fixture(scope="module")
+def manager():
+    m = multiprocessing.get_context().Manager()
+    yield m
+    m.shutdown()
+
+
+def cached_fleet(db, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("enable_plan_cache", True)
+    return repro.connect_fleet(db, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Fleet-level sharing (real worker processes)
+# ----------------------------------------------------------------------
+
+class TestFleetCacheSharing:
+    def test_shape_optimized_on_a_hits_from_b(self, cache_db):
+        with cached_fleet(cache_db, workers=2) as fleet:
+            first = fleet.optimize(SQL)   # round-robin: worker 0
+            second = fleet.optimize(SQL)  # worker 1
+            assert {first.worker, second.worker} == {0, 1}
+            assert first.plan_cache == "miss"
+            # Worker 1 never saw the shape locally: the hit was adopted
+            # from the shared store, and the plans are identical.
+            assert second.plan_cache == "hit"
+            assert second.plan_source == "cache"
+            assert second.explain() == first.explain()
+            stats = fleet.worker_stats()
+            assert stats[first.worker]["plan_cache"]["shared_stores"] >= 1
+            assert stats[second.worker]["plan_cache"]["shared_hits"] == 1
+            shared = fleet.shared_plans.stats()
+            assert shared["publishes"] >= 1
+            assert shared["hits"] >= 1
+
+    def test_rebind_crosses_process_boundaries(self, cache_db):
+        template = "SELECT a, b FROM t1 WHERE b = {v} ORDER BY a, b LIMIT 50"
+        with cached_fleet(cache_db, workers=2) as fleet:
+            assert fleet.optimize(template.format(v=7)).plan_cache == "miss"
+            rebound = fleet.optimize(template.format(v=123))
+            assert rebound.plan_cache == "rebind"
+            assert rebound.worker != 0 or fleet.num_workers == 1
+            # The re-bound literal is really in the served plan.
+            assert "123" in rebound.explain()
+
+    def test_catalog_bump_evicts_fleet_wide(self, cache_db):
+        with cached_fleet(cache_db, workers=2) as fleet:
+            assert fleet.optimize(SQL).plan_cache == "miss"
+            assert fleet.optimize(SQL).plan_cache == "hit"
+            assert len(fleet.shared_plans) >= 1
+
+            # ANALYZE on every worker bumps the per-table catalog
+            # versions; the next optimize triggers the stale sweep both
+            # locally and in the shared store.
+            fleet.bump_catalog("t1")
+            after = fleet.optimize(SQL)
+            assert after.plan_cache == "miss"
+            # And the refreshed entry serves the other worker again.
+            assert fleet.optimize(SQL).plan_cache == "hit"
+            assert fleet.shared_plans.stats()["stale_evictions"] >= 1
+
+    def test_feedback_actuals_cross_processes(self, cache_db):
+        """Worker A executes (ingesting actual cardinalities); worker B's
+        next optimization of the same shape adopts A's observations from
+        the shared board instead of starting blind."""
+        with repro.connect_fleet(
+            cache_db, workers=2,
+            enable_cardinality_feedback=True,
+        ) as fleet:
+            sql = "SELECT count(*) AS n FROM t1 WHERE b < 50"
+            fleet.execute(sql)          # worker 0: observe + publish
+            result = fleet.optimize(sql)  # worker 1: adopt + correct
+            assert result.worker == 1
+            stats = fleet.worker_stats()
+            assert stats[1]["feedback"]["adopted"] >= 1
+            assert result.feedback_hits >= 1
+
+
+# ----------------------------------------------------------------------
+# Unit-level sharing (no processes: two caches, one store)
+# ----------------------------------------------------------------------
+
+class TestSharedPlanStoreUnit:
+    def orca_pair(self, db, manager, capacity=32):
+        """Two independent optimizers whose caches share one store —
+        the in-process model of two fleet workers."""
+        store = SharedPlanStore(manager, capacity=capacity)
+        config = OptimizerConfig(segments=8, enable_plan_cache=True)
+        a = Orca(db, config=config)
+        b = Orca(db, config=config)
+        a.plan_cache.shared = store
+        b.plan_cache.shared = store
+        return a, b, store
+
+    def test_local_miss_adopts_from_shared(self, cache_db, manager):
+        a, b, store = self.orca_pair(cache_db, manager)
+        first = a.optimize(SQL)
+        assert first.plan_cache == "miss"
+        assert a.plan_cache.stats()["shared_stores"] == 1
+        second = b.optimize(SQL)
+        assert second.plan_cache == "hit"
+        assert b.plan_cache.stats()["shared_hits"] == 1
+        assert second.plan.explain() == first.plan.explain()
+        assert store.stats()["publishes"] == 1
+
+    def test_stale_eviction_purges_the_store(self, cache_db, manager):
+        a, b, store = self.orca_pair(cache_db, manager)
+        a.optimize(SQL)
+        assert len(store) == 1
+        cache_db.analyze("t1")  # bump versions; a notices on next optimize
+        a.optimize(SQL)
+        assert store.stats()["stale_evictions"] >= 1
+        # b cannot adopt the stale entry: its lookup under the new
+        # versions misses and re-optimizes.
+        assert b.optimize(SQL).plan_cache == "hit"  # adopts a's fresh entry
+
+    def test_shared_store_capacity_evicts_oldest_publish(self, manager):
+        store = SharedPlanStore(manager, capacity=2)
+        for i in range(3):
+            store.put(("k", i), b"blob-%d" % i)
+        assert len(store) == 2
+        assert store.get(("k", 0)) is None       # oldest publish evicted
+        assert store.get(("k", 2)) == b"blob-2"
+        stats = store.stats()
+        assert stats["evictions"] == 1
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_invalidate_shapes_drops_matching_entries(self, manager):
+        store = SharedPlanStore(manager)
+        store.put(("q1",), b"x", shapes=frozenset({("scan", "t1")}))
+        store.put(("q2",), b"y", shapes=frozenset({("scan", "t2")}))
+        assert store.invalidate_shapes(frozenset({("scan", "t1")})) == 1
+        assert store.get(("q1",)) is None
+        assert store.get(("q2",)) == b"y"
+
+
+class TestSharedFeedbackUnit:
+    def test_board_keeps_the_better_observed_record(self, manager):
+        board = SharedFeedbackBoard(manager)
+        board.publish(("shape",), 100.0, observations=1)
+        board.publish(("shape",), 120.0, observations=3)
+        board.publish(("shape",), 999.0, observations=2)  # fewer obs: ignored
+        assert board.get(("shape",)) == (120.0, 3)
+
+    def test_store_adopts_board_entries_on_miss(self, manager):
+        board = SharedFeedbackBoard(manager)
+        board.publish(("shape",), 64.0, observations=2)
+        store = SharedFeedbackStore(board=board)
+        entry = store.entry(("shape",))
+        assert entry is not None
+        assert entry.observed_rows == 64.0
+        assert store.stats()["adopted"] == 1
+        # Second lookup stays local: no double adoption.
+        store.entry(("shape",))
+        assert store.stats()["adopted"] == 1

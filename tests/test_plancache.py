@@ -189,6 +189,7 @@ def test_plancache_unit_counters():
     assert stats == {
         "hits": 0, "misses": 0, "evictions": 0, "rebinds": 0,
         "stores": 0, "stale_evictions": 0, "feedback_invalidations": 0,
+        "shared_hits": 0, "shared_stores": 0,
         "entries": 0,
     }
 
@@ -234,6 +235,79 @@ def test_catalog_bump_evicts_stale_entries(cache_db):
     orca.optimize(q1)
     assert orca.plan_cache.stats()["stale_evictions"] == 4
     assert len(orca.plan_cache) == 1
+
+
+class RecordingSharedStore:
+    """In-process stand-in for repro.fleet.shared.SharedPlanStore: the
+    same protocol (get/put/evict_stale/invalidate_shapes) over a plain
+    dict, so the cache<->shared contract is testable without processes."""
+
+    def __init__(self):
+        self.entries = {}
+        self.meta = {}
+        self.stale_sweeps = []
+        self.shape_sweeps = []
+
+    def get(self, key):
+        return self.entries.get(key)
+
+    def put(self, key, blob, *, shapes=frozenset(), catalog_versions=()):
+        self.entries[key] = blob
+        self.meta[key] = (shapes, catalog_versions)
+
+    def evict_stale(self, current_versions):
+        self.stale_sweeps.append(current_versions)
+        stale = [k for k, (_, v) in self.meta.items()
+                 if v != current_versions]
+        for k in stale:
+            del self.entries[k]
+            del self.meta[k]
+        return len(stale)
+
+    def invalidate_shapes(self, changed):
+        self.shape_sweeps.append(changed)
+        dead = [k for k, (s, _) in self.meta.items() if s & changed]
+        for k in dead:
+            del self.entries[k]
+            del self.meta[k]
+        return len(dead)
+
+
+def test_catalog_bump_evicts_shared_store_entries_too(cache_db):
+    """Fleet satellite: the stale sweep must reach the shared backing
+    store, or a restarted/other worker would adopt a plan optimized
+    against the old statistics."""
+    shared = RecordingSharedStore()
+    orca = _cached_orca(cache_db)
+    orca.plan_cache.shared = shared
+    q1 = "SELECT a FROM t1 WHERE b = 1"
+    orca.optimize(q1)
+    assert len(shared.entries) == 1
+    assert orca.plan_cache.stats()["shared_stores"] == 1
+
+    cache_db.analyze("t1")
+    orca.optimize(q1)  # sweep fires locally *and* in the shared store
+
+    assert len(shared.stale_sweeps) == 1
+    assert orca.plan_cache.stats()["stale_evictions"] == 1
+    # The store holds exactly the re-optimized entry, not the stale one.
+    assert len(shared.entries) == 1
+    assert orca.plan_cache.stats()["shared_stores"] == 2
+
+
+def test_local_miss_is_served_from_shared_store(cache_db):
+    shared = RecordingSharedStore()
+    warm = _cached_orca(cache_db)
+    cold = _cached_orca(cache_db)
+    warm.plan_cache.shared = shared
+    cold.plan_cache.shared = shared
+    sql = "SELECT a FROM t2 WHERE b = 5"
+    first = warm.optimize(sql)
+    assert first.plan_cache == "miss"
+    second = cold.optimize(sql)
+    assert second.plan_cache == "hit"
+    assert second.plan.explain() == first.plan.explain()
+    assert cold.plan_cache.stats()["shared_hits"] == 1
 
 
 # ----------------------------------------------------------------------
