@@ -57,6 +57,8 @@ UNGATED_METRICS = (
     "avg_memory_mb",
     "executor_speedup_geomean",
     "end_to_end_speedup",
+    "fused_vs_batch_speedup",
+    "fused_vs_row_speedup",
 )
 
 
@@ -165,10 +167,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--microbench-report", default=None,
         help="MICRO_*.json from microbench.py; its speedups are merged "
-             "into the report as ungated trend metrics",
+             "into the report, and the fused-vs-batch exec-only speedup "
+             "is gated absolutely by --min-fused-speedup",
+    )
+    parser.add_argument(
+        "--min-fused-speedup", type=float, default=1.5,
+        help="minimum fused-vs-batch exec-only speedup required when a "
+             "microbench report is supplied (default 1.5; pass 0 to "
+             "disable)",
     )
     args = parser.parse_args(argv)
 
+    fused_failure = None
     metrics = run_workload(args.scale, args.segments)
     if args.microbench_report:
         with open(args.microbench_report, encoding="utf-8") as f:
@@ -179,6 +189,16 @@ def main(argv=None) -> int:
         metrics["end_to_end_speedup"] = micro.get(
             "end_to_end", {}
         ).get("speedup")
+        engines = micro.get("engines_exec_only", {})
+        metrics["fused_vs_batch_speedup"] = engines.get("fused_vs_batch")
+        metrics["fused_vs_row_speedup"] = engines.get("fused_vs_row")
+        fused = metrics["fused_vs_batch_speedup"]
+        if args.min_fused_speedup and fused is not None:
+            if fused < args.min_fused_speedup:
+                fused_failure = (
+                    f"fused executor speedup {fused}x vs batch is below "
+                    f"the required {args.min_fused_speedup}x"
+                )
     report = {
         "date": datetime.date.today().isoformat(),
         "scale": args.scale,
@@ -195,6 +215,11 @@ def main(argv=None) -> int:
     print(f"benchmark report written to {args.out}")
     for name, value in metrics.items():
         print(f"  {name:24s} {value}")
+
+    if fused_failure:
+        print(f"\nfused-engine gate failed: {fused_failure}",
+              file=sys.stderr)
+        return 1
 
     if args.baseline:
         with open(args.baseline, encoding="utf-8") as f:

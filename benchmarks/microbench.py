@@ -1,4 +1,4 @@
-"""Profiled microbenchmarks: batch executor vs row executor, optimizer caches.
+"""Profiled microbenchmarks: fused vs batch vs row executor, optimizer caches.
 
 Times the hot paths this repo optimizes, in isolation:
 
@@ -6,38 +6,47 @@ Times the hot paths this repo optimizes, in isolation:
   aggregate, hash join) is timed on its own by pre-executing its children
   once and stubbing their handlers, so the measurement covers only the
   operator's work — expression evaluation, probing, folding — not the
-  shared scan/distribute cost.  Row mode (``batch_execution=False``) vs
-  batch mode, best-of-N.
+  shared scan/distribute cost.  Row mode (``ExecutionMode.ROW``) vs
+  batch mode, best-of-N.  (Single operators never fuse — fusion is a
+  property of chains — so the fused column lives in the two sections
+  below.)
+- **Operator chains**: designed chain-heavy queries (scan→filter→project,
+  probe→agg, multi-join probes) executed end to end in all three modes,
+  where the fused engine's compiled pipelines and scan cache apply.
+- **Engines, exec-only**: the full TPC-DS workload with plans
+  pre-optimized once, then executed per mode — the number
+  ``bench_report.py`` gates (fused must stay ≥1.5x over batch).
 - **Optimizer phases**: optimize-only wall clock with the derivation/
   property memos on vs off, plus the deterministic cache counters
   (interning hit rate, derivation-cache hits) from
   :class:`repro.optimizer.SearchStats`.
 - **End to end**: optimize+execute of the full TPC-DS workload, the
   pre-overhaul configuration (row executor, no derivation cache) against
-  the default one.
+  the default one (fused executor, caches on).
 
 Results are JSON with per-case timings and speedups; wall-clock numbers
-are for trend tracking only (never CI-gated — runners are too noisy),
-while the cache counters are deterministic and gated by
-``bench_report.py``.  Usage::
+are for trend tracking, except the fused-vs-batch exec-only speedup,
+which carries enough margin to be gated absolutely by
+``bench_report.py --min-fused-speedup``.  Usage::
 
     PYTHONPATH=src python benchmarks/microbench.py \
         --out benchmarks/history/MICRO_2026-08-06.json --profile
 
 ``--profile`` additionally prints the top functions (cumulative time) of
-one batch-mode workload execution under :mod:`cProfile`.
+one fused-mode workload execution under :mod:`cProfile`.
 """
 
 from __future__ import annotations
 
 import argparse
 import datetime
+import gc
 import json
 import math
 import os
 import time
 
-from repro.config import OptimizerConfig
+from repro.config import ExecutionMode, OptimizerConfig
 from repro.engine import Cluster, Executor
 from repro.optimizer import Orca
 from repro.workloads import QUERIES, build_populated_db
@@ -78,14 +87,14 @@ def _find_deepest(plan, names, best=None):
     return best
 
 
-def _time_operator(cluster, node, batch: bool, repeats: int) -> float:
+def _time_operator(cluster, node, mode: ExecutionMode, repeats: int) -> float:
     """Best-of-N seconds for one execution of ``node`` alone.
 
     Children are executed once up front and their handlers replaced with
     stubs returning the cached result, so repeated runs measure only the
     operator under test.
     """
-    ex = Executor(cluster, batch_execution=batch)
+    ex = Executor(cluster, execution_mode=mode)
     for child in node.children:
         result = ex._exec(child)
 
@@ -113,10 +122,14 @@ def _bench_operators(db, segments: int, repeats: int) -> dict:
         if node is None:
             continue
         # Warm both modes once (compiled-closure caches, column packing).
-        _time_operator(cluster, node, batch=False, repeats=1)
-        _time_operator(cluster, node, batch=True, repeats=1)
-        row_s = _time_operator(cluster, node, batch=False, repeats=repeats)
-        batch_s = _time_operator(cluster, node, batch=True, repeats=repeats)
+        _time_operator(cluster, node, ExecutionMode.ROW, repeats=1)
+        _time_operator(cluster, node, ExecutionMode.BATCH, repeats=1)
+        row_s = _time_operator(
+            cluster, node, ExecutionMode.ROW, repeats=repeats
+        )
+        batch_s = _time_operator(
+            cluster, node, ExecutionMode.BATCH, repeats=repeats
+        )
         out[name] = {
             "operator": node.op.name,
             "row_ms": round(row_s * 1000, 3),
@@ -126,8 +139,101 @@ def _bench_operators(db, segments: int, repeats: int) -> dict:
     return out
 
 
-def _run_workload(db, segments: int, *, batch: bool, derivation_cache: bool,
-                  execute: bool = True) -> float:
+#: Chain-heavy queries where compiled pipelines apply: breaker-free
+#: scan→filter→project chains, join-probe chains sunk into aggregates.
+CHAIN_CASES = {
+    "filter_project": (
+        "SELECT ss_quantity * 2 + 1 FROM store_sales "
+        "WHERE ss_quantity > 10 AND ss_sales_price > 50.0"
+    ),
+    "probe_agg": (
+        "SELECT i_category, count(*), sum(ss_sales_price) "
+        "FROM store_sales, item WHERE ss_item_sk = i_item_sk "
+        "GROUP BY i_category"
+    ),
+    "two_join_probe": (
+        "SELECT count(*) FROM store_sales, item, date_dim "
+        "WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk"
+    ),
+}
+
+_ALL_MODES = (ExecutionMode.ROW, ExecutionMode.BATCH, ExecutionMode.FUSED)
+
+
+def _time_plans(db, segments: int, plans, repeats: int) -> dict:
+    """Best-of-N exec-only seconds per mode for the pre-optimized plans.
+
+    One cluster per mode, warmed with an untimed pass first, so fused
+    runs with its compiled chains and scan cache resident — the
+    steady-state of a long-lived server process.  Passes are
+    *interleaved* round-robin across modes so slow machine drift
+    (thermal, noisy neighbours) lands on every mode equally instead of
+    on whichever mode happened to run last.
+    """
+    clusters = {mode: Cluster(db, segments=segments) for mode in _ALL_MODES}
+
+    def one_pass(mode: ExecutionMode) -> float:
+        cluster = clusters[mode]
+        gc.collect()  # start every pass from the same heap state
+        gc.disable()  # ...and keep collector pauses out of the timing
+        try:
+            start = time.perf_counter()
+            for result in plans:
+                Executor(cluster, execution_mode=mode).execute(
+                    result.plan, result.output_cols
+                )
+            return time.perf_counter() - start
+        finally:
+            gc.enable()
+
+    best = {}
+    for mode in _ALL_MODES:
+        one_pass(mode)  # warm: compiled closures, columns, scan cache
+        best[mode] = math.inf
+    for _ in range(repeats):
+        for mode in _ALL_MODES:
+            best[mode] = min(best[mode], one_pass(mode))
+    return best
+
+
+def _bench_chains(orca, db, segments: int, repeats: int) -> dict:
+    out = {}
+    for name, sql in CHAIN_CASES.items():
+        plans = [orca.optimize(sql)]
+        times = _time_plans(db, segments, plans, repeats)
+        out[name] = {
+            "row_ms": round(times[ExecutionMode.ROW] * 1000, 3),
+            "batch_ms": round(times[ExecutionMode.BATCH] * 1000, 3),
+            "fused_ms": round(times[ExecutionMode.FUSED] * 1000, 3),
+            "fused_vs_batch": round(
+                times[ExecutionMode.BATCH] / times[ExecutionMode.FUSED], 2
+            ),
+            "fused_vs_row": round(
+                times[ExecutionMode.ROW] / times[ExecutionMode.FUSED], 2
+            ),
+        }
+    return out
+
+
+def _bench_engines(orca, db, segments: int, repeats: int) -> dict:
+    """Full-corpus exec-only timing per engine — the gated comparison."""
+    plans = [orca.optimize(q.sql) for q in QUERIES]
+    times = _time_plans(db, segments, plans, repeats)
+    return {
+        "row_s": round(times[ExecutionMode.ROW], 3),
+        "batch_s": round(times[ExecutionMode.BATCH], 3),
+        "fused_s": round(times[ExecutionMode.FUSED], 3),
+        "fused_vs_batch": round(
+            times[ExecutionMode.BATCH] / times[ExecutionMode.FUSED], 2
+        ),
+        "fused_vs_row": round(
+            times[ExecutionMode.ROW] / times[ExecutionMode.FUSED], 2
+        ),
+    }
+
+
+def _run_workload(db, segments: int, *, mode: ExecutionMode,
+                  derivation_cache: bool, execute: bool = True) -> float:
     """One full pass over the workload; returns elapsed seconds."""
     orca = Orca(db, config=OptimizerConfig(
         segments=segments, enable_derivation_cache=derivation_cache,
@@ -137,7 +243,7 @@ def _run_workload(db, segments: int, *, batch: bool, derivation_cache: bool,
     for query in QUERIES:
         result = orca.optimize(query.sql)
         if execute:
-            Executor(cluster, batch_execution=batch).execute(
+            Executor(cluster, execution_mode=mode).execute(
                 result.plan, result.output_cols
             )
     return time.perf_counter() - start
@@ -172,22 +278,31 @@ def run_microbench(scale: float = 0.4, segments: int = 4,
         math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 2
     ) if speedups else None
 
+    # Chain fusion and whole-engine comparisons over one shared
+    # optimizer (plans reused across modes, so only execution is timed).
+    chain_orca = Orca(db, config=OptimizerConfig(segments=segments))
+    chains = _bench_chains(chain_orca, db, segments, repeats=max(repeats, 3))
+    engines = _bench_engines(chain_orca, db, segments,
+                             repeats=max(repeats, 3))
+
     # Optimizer phases in isolation: optimize-only, memos off vs on.
-    _run_workload(db, segments, batch=True, derivation_cache=True,
-                  execute=False)  # warm
+    _run_workload(db, segments, mode=ExecutionMode.BATCH,
+                  derivation_cache=True, execute=False)  # warm
     opt_base = _best_of(lambda: _run_workload(
-        db, segments, batch=True, derivation_cache=False, execute=False,
+        db, segments, mode=ExecutionMode.BATCH, derivation_cache=False,
+        execute=False,
     ), repeats)
     opt_new = _best_of(lambda: _run_workload(
-        db, segments, batch=True, derivation_cache=True, execute=False,
+        db, segments, mode=ExecutionMode.BATCH, derivation_cache=True,
+        execute=False,
     ), repeats)
 
     # End to end: the pre-overhaul configuration vs the default one.
     e2e_base = _best_of(lambda: _run_workload(
-        db, segments, batch=False, derivation_cache=False,
+        db, segments, mode=ExecutionMode.ROW, derivation_cache=False,
     ), repeats)
     e2e_new = _best_of(lambda: _run_workload(
-        db, segments, batch=True, derivation_cache=True,
+        db, segments, mode=ExecutionMode.FUSED, derivation_cache=True,
     ), repeats)
 
     return {
@@ -196,6 +311,8 @@ def run_microbench(scale: float = 0.4, segments: int = 4,
         "queries": len(QUERIES),
         "operators": operators,
         "operator_speedup_geomean": operator_geomean,
+        "chains": chains,
+        "engines_exec_only": engines,
         "optimize_only": {
             "baseline_s": round(opt_base, 3),
             "optimized_s": round(opt_new, 3),
@@ -215,12 +332,14 @@ def _profile(scale: float, segments: int) -> None:
     import pstats
 
     db = build_populated_db(scale=scale)
-    _run_workload(db, segments, batch=True, derivation_cache=True)  # warm
+    _run_workload(db, segments, mode=ExecutionMode.FUSED,
+                  derivation_cache=True)  # warm
     profiler = cProfile.Profile()
     profiler.enable()
-    _run_workload(db, segments, batch=True, derivation_cache=True)
+    _run_workload(db, segments, mode=ExecutionMode.FUSED,
+                  derivation_cache=True)
     profiler.disable()
-    print("\ntop functions, one optimize+execute pass (batch mode):")
+    print("\ntop functions, one optimize+execute pass (fused mode):")
     pstats.Stats(profiler).sort_stats("cumulative").print_stats(15)
 
 
@@ -243,6 +362,17 @@ def main(argv=None) -> int:
         print(f"  {name:10s} {case['row_ms']:8.1f}ms -> "
               f"{case['batch_ms']:8.1f}ms  ({case['speedup']:.2f}x)")
     print(f"  geomean speedup: {report['operator_speedup_geomean']}x")
+    print("operator chains (exec-only, best-of-N):")
+    for name, case in report["chains"].items():
+        print(f"  {name:14s} row {case['row_ms']:8.1f}ms  "
+              f"batch {case['batch_ms']:8.1f}ms  "
+              f"fused {case['fused_ms']:8.1f}ms  "
+              f"({case['fused_vs_batch']:.2f}x vs batch)")
+    eng = report["engines_exec_only"]
+    print(f"engines (corpus, exec-only): row {eng['row_s']}s  "
+          f"batch {eng['batch_s']}s  fused {eng['fused_s']}s  "
+          f"-> fused {eng['fused_vs_batch']}x vs batch, "
+          f"{eng['fused_vs_row']}x vs row")
     opt = report["optimize_only"]
     e2e = report["end_to_end"]
     print(f"optimize-only: {opt['baseline_s']}s -> {opt['optimized_s']}s "

@@ -28,7 +28,7 @@ The raw optimizer stays available for ungoverned use::
     orca = Orca(db, config=OptimizerConfig(segments=8))
 """
 
-from repro.config import OptimizationStage, OptimizerConfig
+from repro.config import ExecutionMode, OptimizationStage, OptimizerConfig
 from repro.catalog.database import Database
 from repro.engine.cluster import Cluster
 from repro.engine.executor import ExecutionResult, Executor
@@ -76,7 +76,7 @@ from repro.telemetry import (
 )
 from repro.trace import NullTracer, TraceEvent, Tracer
 
-__version__ = "2.3.0"
+__version__ = "2.4.0"
 
 __all__ = [
     # Session facade (stable public API)
@@ -95,6 +95,7 @@ __all__ = [
     "PLAN_SOURCES",
     "OptimizerConfig",
     "OptimizationStage",
+    "ExecutionMode",
     "LegacyPlanner",
     "ResourceGovernor",
     # Substrates

@@ -19,7 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.config import OptimizerConfig
+from repro.config import ExecutionMode, OptimizerConfig
 from repro.engine.cluster import Cluster
 from repro.engine.executor import Executor
 from repro.errors import (
@@ -123,6 +123,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "with distinct exit codes instead of falling back to the "
              "legacy Planner",
     )
+    parser.add_argument(
+        "--engine", choices=["row", "batch", "fused"], default="fused",
+        help="execution engine: 'fused' (default) compiles breaker-free "
+             "operator chains into generated pipeline functions, 'batch' "
+             "interprets per-operator column batches, 'row' is the "
+             "row-at-a-time reference; all three produce identical rows "
+             "and metrics",
+    )
 
 
 def _config(args) -> OptimizerConfig:
@@ -136,6 +144,8 @@ def _config(args) -> OptimizerConfig:
         "cardinality_feedback": "enable_cardinality_feedback",
     }
     kwargs = {"segments": args.segments}
+    if getattr(args, "engine", None):
+        kwargs["execution_mode"] = ExecutionMode.coerce(args.engine)
     if getattr(args, "plan_cache", False) or getattr(
         args, "plan_cache_stats", False
     ):

@@ -10,8 +10,59 @@ all of that plus the cluster description needed by the cost model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import warnings
+from dataclasses import InitVar, dataclass, replace
+from enum import Enum
 from typing import Iterable, Optional, Sequence
+
+
+class ExecutionMode(str, Enum):
+    """How physical plans are executed on the simulated cluster.
+
+    All three modes produce float-identical rows, ExecutionMetrics and
+    EXPLAIN ANALYZE per-node actuals; they differ only in interpretation
+    overhead:
+
+    - ``ROW``: row-at-a-time reference interpreter (the oracle the other
+      modes are differentially tested against).
+    - ``BATCH``: columnar chunks with per-operator compiled vector
+      expressions.
+    - ``FUSED``: batch mode plus a pipeline compiler that fuses
+      breaker-free operator chains (scan→filter→project, probe→project,
+      join→agg) into single generated-Python loop functions, eliminating
+      intermediate chunk materialization.
+    """
+
+    ROW = "row"
+    BATCH = "batch"
+    FUSED = "fused"
+
+    @classmethod
+    def coerce(cls, value) -> "ExecutionMode":
+        """Accept an ExecutionMode or its string value (CLI-friendly)."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError:
+                pass
+        raise ValueError(
+            f"invalid execution mode {value!r}; expected one of "
+            f"{[m.value for m in cls]}"
+        )
+
+
+def _mode_from_batch_flag(batch_execution: bool) -> ExecutionMode:
+    """Map the deprecated ``batch_execution`` bool onto the enum."""
+    warnings.warn(
+        "batch_execution= is deprecated; use "
+        "execution_mode=ExecutionMode.BATCH (True) or "
+        "execution_mode=ExecutionMode.ROW (False)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ExecutionMode.BATCH if batch_execution else ExecutionMode.ROW
 
 
 @dataclass(frozen=True)
@@ -69,11 +120,17 @@ class OptimizerConfig:
     #: and plan choices do not change; off exists as a reference mode for
     #: benchmarking the memoization itself.
     enable_derivation_cache: bool = True
-    #: Execute physical plans over columnar batches (compiled vector
-    #: expressions) instead of row-at-a-time interpretation.  Results,
-    #: ExecutionMetrics and EXPLAIN ANALYZE are float-identical either
-    #: way; False keeps the row path as a reference mode.
-    batch_execution: bool = True
+    #: How physical plans execute: ``ExecutionMode.FUSED`` (default)
+    #: compiles breaker-free operator chains into single generated
+    #: pipeline functions over column chunks, ``BATCH`` interprets
+    #: per-operator columnar batches, ``ROW`` is the row-at-a-time
+    #: reference oracle.  Rows, ExecutionMetrics and EXPLAIN ANALYZE are
+    #: float-identical across all three.
+    execution_mode: ExecutionMode = ExecutionMode.FUSED
+    #: Deprecated alias for ``execution_mode``: ``True`` maps to
+    #: ``ExecutionMode.BATCH``, ``False`` to ``ExecutionMode.ROW``.
+    #: Warns with ``DeprecationWarning`` when passed.
+    batch_execution: InitVar[Optional[bool]] = None
     #: Cache optimized plans keyed by (normalized-query fingerprint,
     #: config, catalog version); literals are parameter markers, so a
     #: repeated query shape skips search and re-binds parameters instead.
@@ -109,6 +166,17 @@ class OptimizerConfig:
     #: Probe the memory footprint every N job steps (the probe walks the
     #: Memo, so checking on every step would dominate search time).
     memory_check_stride: int = 64
+
+    def __post_init__(self, batch_execution: Optional[bool]) -> None:
+        if batch_execution is not None:
+            object.__setattr__(
+                self, "execution_mode", _mode_from_batch_flag(batch_execution)
+            )
+        elif not isinstance(self.execution_mode, ExecutionMode):
+            object.__setattr__(
+                self, "execution_mode",
+                ExecutionMode.coerce(self.execution_mode),
+            )
 
     def governed(self) -> bool:
         """True when any per-query resource limit is configured."""

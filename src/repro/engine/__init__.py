@@ -9,5 +9,13 @@ work on a calibrated cost clock that stands in for wall-clock time.
 from repro.engine.cluster import Cluster
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.pipeline import Pipeline, split_pipelines
 
-__all__ = ["Cluster", "ExecutionMetrics", "ExecutionResult", "Executor"]
+__all__ = [
+    "Cluster",
+    "ExecutionMetrics",
+    "ExecutionResult",
+    "Executor",
+    "Pipeline",
+    "split_pipelines",
+]

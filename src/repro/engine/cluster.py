@@ -8,7 +8,7 @@ rows between segments through simulated motions.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
 from repro.catalog.database import Database
@@ -59,6 +59,14 @@ class Cluster:
     #: Whether operators may spill to disk instead of failing with OOM
     #: (Impala-like engines in Section 7.3.2 cannot).
     spill_enabled: bool = True
+    #: Fused-engine cache of base-table scan layouts, keyed by (table,
+    #: partitions, columns, segments): the hash distribution of a stored
+    #: table is a pure function of the key, so the fused engine computes
+    #: it once per cluster and re-serves the packed column chunks to
+    #: every later scan.  Scan *charges* stay per-execution; only the
+    #: redundant re-hash/re-pack is skipped.  Row and batch modes never
+    #: read this.
+    scan_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     def distribute_rows(
         self, rows: list[tuple], key_positions: Optional[Sequence[int]]

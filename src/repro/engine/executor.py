@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from repro.catalog.schema import DistributionPolicy
+from repro.config import ExecutionMode, _mode_from_batch_flag
 from repro.cost.model import CostParams
 from repro.engine.cluster import Cluster
 from repro.engine.columnar import DColumns
@@ -119,18 +120,38 @@ class Executor:
         materialize_output_factor: float = 0.0,
         tracer=None,
         metrics_registry=None,
-        batch_execution: bool = True,
+        batch_execution: Optional[bool] = None,
+        execution_mode: Optional[ExecutionMode] = None,
     ):
         self.cluster = cluster
         self.params = params or CostParams()
-        #: Columnar batch mode: compiled vector expressions over column
-        #: chunks.  Rows, ExecutionMetrics and EXPLAIN ANALYZE are
-        #: float-identical to the row-at-a-time reference path (False).
-        self.batch_execution = batch_execution
-        if batch_execution:
+        if batch_execution is not None:
+            if execution_mode is not None:
+                raise ValueError(
+                    "pass either execution_mode= or the deprecated "
+                    "batch_execution=, not both"
+                )
+            mode = _mode_from_batch_flag(batch_execution)
+        elif execution_mode is not None:
+            mode = ExecutionMode.coerce(execution_mode)
+        else:
+            mode = ExecutionMode.FUSED
+        #: How plans execute (row / batch / fused).  Rows,
+        #: ExecutionMetrics and EXPLAIN ANALYZE are float-identical
+        #: across all modes; ``ROW`` is the reference path.
+        self.execution_mode = mode
+        #: Legacy view of the mode (any columnar mode reads as True).
+        self.batch_execution = mode is not ExecutionMode.ROW
+        self._fused = mode is ExecutionMode.FUSED
+        self._fused_chains: dict[int, Any] = {}
+        if self.batch_execution:
             from repro.engine.batch import BATCH_HANDLERS
 
             self._handlers = {**self._HANDLERS, **BATCH_HANDLERS}
+            if self._fused:
+                from repro.engine.fused import FUSED_HANDLERS
+
+                self._handlers = {**self._handlers, **FUSED_HANDLERS}
         else:
             self._handlers = self._HANDLERS
         self.tracer = tracer or NULL_TRACER
@@ -175,6 +196,10 @@ class Executor:
         )
         self._selector_values = {}
         self._cte_store = {}
+        if self._fused:
+            from repro.engine.fused import fused_chains
+
+            self._fused_chains = fused_chains(plan)
         self._wanted_selectors = {
             node.op.dpe.selector_col_id
             for node in plan.walk()
@@ -243,7 +268,13 @@ class Executor:
             seg_before = list(self.metrics.segment_work)
             master_before = self.metrics.master_work
             net_before = self.metrics.net_bytes
-        result: DRows = handler(self, node)
+        chain = self._fused_chains.get(id(node)) if self._fused else None
+        if chain is not None:
+            from repro.engine.fused import run_chain
+
+            result = run_chain(self, chain)
+        else:
+            result = handler(self, node)
         if self.batch_execution and type(result) is DRows:
             # Row-path handler (no batch form): lift the result into a
             # lazy columnar batch so downstream batch operators compose.

@@ -30,6 +30,15 @@ class PlanNode:
         for child in self.children:
             yield from child.walk()
 
+    def __getstate__(self):
+        # The fused executor caches compiled pipelines (generated
+        # functions + closures) on the plan root; like ScalarExpr's
+        # compiled-closure caches, they are unpicklable derived state
+        # and are rebuilt on demand after transport.
+        state = dict(self.__dict__)
+        state.pop("_fused_cache", None)
+        return state
+
     def operators(self) -> list[str]:
         return [node.op.name for node in self.walk()]
 

@@ -262,7 +262,7 @@ class Session:
             self._cluster,
             tracer=self._orca.tracer,
             metrics_registry=self.telemetry,
-            batch_execution=self.config.batch_execution,
+            execution_mode=self.config.execution_mode,
         )
         feedback = self._orca.feedback
         execution = executor.execute(

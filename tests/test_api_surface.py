@@ -23,8 +23,8 @@ EXPECTED_ALL = frozenset({
     "connect_fleet", "Fleet", "FleetResult",
     # core optimizer
     "Orca", "OptimizationResult", "SearchStats", "PLAN_SOURCES",
-    "OptimizerConfig", "OptimizationStage", "LegacyPlanner",
-    "ResourceGovernor",
+    "OptimizerConfig", "OptimizationStage", "ExecutionMode",
+    "LegacyPlanner", "ResourceGovernor",
     # substrates
     "Database", "Cluster", "Executor", "ExecutionResult", "PlanNode",
     # errors
@@ -94,6 +94,86 @@ class TestKeywordOnlyConstructors:
     def test_session_methods_exist(self):
         for method in ("optimize", "execute", "explain", "close"):
             assert callable(getattr(repro.Session, method))
+
+
+class TestExecutionModeSurface:
+    """The execution_mode= enum and its deprecated batch_execution= alias."""
+
+    def test_enum_members(self):
+        assert [m.value for m in repro.ExecutionMode] == [
+            "row", "batch", "fused"
+        ]
+
+    def test_coerce_accepts_strings_and_members(self):
+        assert repro.ExecutionMode.coerce("fused") is repro.ExecutionMode.FUSED
+        assert (repro.ExecutionMode.coerce(repro.ExecutionMode.ROW)
+                is repro.ExecutionMode.ROW)
+        with pytest.raises(ValueError):
+            repro.ExecutionMode.coerce("vectorized")
+
+    def test_config_default_is_fused(self):
+        assert repro.OptimizerConfig().execution_mode is (
+            repro.ExecutionMode.FUSED
+        )
+
+    def test_config_coerces_strings(self):
+        config = repro.OptimizerConfig(execution_mode="batch")
+        assert config.execution_mode is repro.ExecutionMode.BATCH
+
+    def test_config_batch_execution_alias_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="batch_execution"):
+            legacy = repro.OptimizerConfig(batch_execution=True)
+        assert legacy == repro.OptimizerConfig(
+            execution_mode=repro.ExecutionMode.BATCH
+        )
+        with pytest.warns(DeprecationWarning):
+            legacy_row = repro.OptimizerConfig(batch_execution=False)
+        assert legacy_row == repro.OptimizerConfig(
+            execution_mode=repro.ExecutionMode.ROW
+        )
+
+    def test_executor_batch_execution_alias_warns(self, small_db):
+        cluster = repro.Cluster(small_db, segments=2)
+        with pytest.warns(DeprecationWarning, match="batch_execution"):
+            ex = repro.Executor(cluster, batch_execution=True)
+        assert ex.execution_mode is repro.ExecutionMode.BATCH
+
+    def test_executor_rejects_both_spellings(self, small_db):
+        cluster = repro.Cluster(small_db, segments=2)
+        with pytest.raises(ValueError, match="not both"):
+            repro.Executor(
+                cluster,
+                execution_mode=repro.ExecutionMode.BATCH,
+                batch_execution=True,
+            )
+
+    def test_alias_and_enum_runs_are_bit_identical(self, small_db):
+        import dataclasses as dc
+        import warnings
+
+        orca = repro.Orca(small_db, config=repro.OptimizerConfig(segments=2))
+        result = orca.optimize(
+            "SELECT c, sum(b) FROM t1 WHERE b > 10 GROUP BY c ORDER BY c"
+        )
+        runs = []
+        for kwargs in (
+            {"execution_mode": repro.ExecutionMode.BATCH},
+            {"batch_execution": True},
+        ):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                ex = repro.Executor(
+                    repro.Cluster(small_db, segments=2), **kwargs
+                )
+            runs.append(
+                ex.execute(result.plan, result.output_cols, analyze=True)
+            )
+        enum_run, alias_run = runs
+        assert alias_run.rows == enum_run.rows
+        for f in dc.fields(enum_run.metrics):
+            assert (getattr(alias_run.metrics, f.name)
+                    == getattr(enum_run.metrics, f.name)), f.name
+        assert alias_run.analysis.render() == enum_run.analysis.render()
 
 
 class TestExceptionHierarchy:

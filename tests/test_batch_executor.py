@@ -22,7 +22,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import OptimizerConfig
+from repro.config import ExecutionMode, OptimizerConfig
 from repro.engine import Cluster, Executor
 from repro.optimizer import Orca
 from repro.workloads import QUERIES
@@ -39,10 +39,10 @@ def _walk(node):
 def assert_batch_identical(db, result, segments: int = 8):
     """Execute ``result.plan`` in both modes and compare everything."""
     row = Executor(
-        Cluster(db, segments=segments), batch_execution=False
+        Cluster(db, segments=segments), execution_mode=ExecutionMode.ROW
     ).execute(result.plan, result.output_cols, analyze=True)
     batch = Executor(
-        Cluster(db, segments=segments), batch_execution=True
+        Cluster(db, segments=segments), execution_mode=ExecutionMode.BATCH
     ).execute(result.plan, result.output_cols, analyze=True)
 
     # Rows: exact values, exact order — no float tolerance.

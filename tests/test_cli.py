@@ -37,6 +37,18 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "..." in out
 
+    def test_run_engine_fused(self, capsys):
+        assert main(["run", SQL, "--engine", "fused"] + ARGS) == 0
+        out = capsys.readouterr().out
+        assert "1998 | 365" in out
+
+    def test_engine_choices_agree(self, capsys):
+        outs = []
+        for engine in ("row", "batch", "fused"):
+            assert main(["run", SQL, "--engine", engine] + ARGS) == 0
+            outs.append(capsys.readouterr().out)
+        assert outs[0] == outs[1] == outs[2]
+
     def test_memo_dump(self, capsys):
         assert main(["memo", SQL] + ARGS) == 0
         out = capsys.readouterr().out

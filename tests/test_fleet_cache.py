@@ -168,6 +168,36 @@ class TestSharedPlanStoreUnit:
         assert stats["evictions"] == 1
         assert stats["misses"] == 1 and stats["hits"] == 1
 
+    def test_fused_executed_plan_still_pickles(self, cache_db):
+        """Executing a plan in fused mode attaches generated pipeline
+        functions to the plan root; those closures are unpicklable, so
+        they must be stripped when the plan ships into SharedPlanStore
+        (regression: PicklingError on _stage)."""
+        import pickle
+
+        orca = Orca(cache_db, config=OptimizerConfig(segments=8))
+        result = orca.optimize(
+            "SELECT t1.c, count(*) FROM t1, t2 "
+            "WHERE t1.a = t2.a AND t1.b > 10 GROUP BY t1.c ORDER BY t1.c"
+        )
+        fused = repro.Executor(
+            repro.Cluster(cache_db, segments=8),
+            execution_mode=repro.ExecutionMode.FUSED,
+        )
+        first = fused.execute(result.plan, result.output_cols, analyze=True)
+        assert result.plan.__dict__.get("_fused_cache"), (
+            "query should have produced at least one compiled chain"
+        )
+        clone = pickle.loads(pickle.dumps(result.plan))
+        assert "_fused_cache" not in clone.__dict__
+        # The clone recompiles on demand and stays identical.
+        again = repro.Executor(
+            repro.Cluster(cache_db, segments=8),
+            execution_mode=repro.ExecutionMode.FUSED,
+        ).execute(clone, result.output_cols, analyze=True)
+        assert again.rows == first.rows
+        assert again.analysis.render() == first.analysis.render()
+
     def test_invalidate_shapes_drops_matching_entries(self, manager):
         store = SharedPlanStore(manager)
         store.put(("q1",), b"x", shapes=frozenset({("scan", "t1")}))
