@@ -51,6 +51,16 @@ from repro.feedback import FeedbackStore
 from repro.fleet import Fleet, FleetResult
 from repro.fleet import connect as connect_fleet
 from repro.gpos.governor import ResourceGovernor
+from repro.obs import (
+    FlightRecorder,
+    FlightTracer,
+    SlowQueryLog,
+    Span,
+    chrome_trace,
+    load_flight_dump,
+    tracer_chrome_trace,
+    validate_chrome_trace,
+)
 from repro.optimizer import (
     OptimizationResult,
     Orca,
@@ -76,7 +86,7 @@ from repro.telemetry import (
 )
 from repro.trace import NullTracer, TraceEvent, Tracer
 
-__version__ = "2.4.0"
+__version__ = "2.5.0"
 
 __all__ = [
     # Session facade (stable public API)
@@ -124,6 +134,15 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "TraceEvent",
+    # Observability: distributed traces, flight recorder, slow-query log
+    "Span",
+    "chrome_trace",
+    "tracer_chrome_trace",
+    "validate_chrome_trace",
+    "FlightRecorder",
+    "FlightTracer",
+    "load_flight_dump",
+    "SlowQueryLog",
     # Telemetry (fleet observability)
     "MetricsRegistry",
     "NullMetricsRegistry",

@@ -124,6 +124,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "legacy Planner",
     )
     parser.add_argument(
+        "--slow-query-ms", type=float, default=None, metavar="MS",
+        help="emit a structured JSON slow-query log record (stderr) for "
+             "any query slower than MS milliseconds end to end",
+    )
+    parser.add_argument(
         "--engine", choices=["row", "batch", "fused"], default="fused",
         help="execution engine: 'fused' (default) compiles breaker-free "
              "operator chains into generated pipeline functions, 'batch' "
@@ -202,6 +207,15 @@ def _emit_cache_stats(args, orca) -> None:
         print(f"\n{orca.plan_cache.summary()}")
 
 
+def _slow_log(args):
+    """A SlowQueryLog when --slow-query-ms was given, else None."""
+    if getattr(args, "slow_query_ms", None) is not None:
+        from repro.obs import SlowQueryLog
+
+        return SlowQueryLog(args.slow_query_ms)
+    return None
+
+
 def _optimize(args, db, sql, tracer=None):
     config = _config(args)
     if args.planner:
@@ -213,6 +227,7 @@ def _optimize(args, db, sql, tracer=None):
     session = connect(
         db, config=config, tracer=tracer,
         fallback=not getattr(args, "no_fallback", False),
+        slow_log=_slow_log(args),
     )
     result = session.optimize(sql)
     _emit_cache_stats(args, session.orca)
@@ -386,6 +401,8 @@ def cmd_serve(args) -> int:
         fault_rate=args.chaos_rate,
         request_timeout_seconds=args.request_timeout,
         name="serve",
+        flight_dir=args.flight_dir,
+        slow_query_ms=args.slow_query_ms,
     )
     errors = 0
     served = 0
@@ -424,6 +441,23 @@ def cmd_serve(args) -> int:
                 for info in drained.values())
     available = fleet.availability == 1.0 and errors == 0
     print(f"drained: {'clean' if clean else drained}")
+
+    def _pct(q):
+        seconds = fleet.telemetry.quantile("fleet_request_seconds", q)
+        return None if seconds is None else round(seconds * 1000.0, 3)
+
+    latency = {"p50_ms": _pct(0.50), "p95_ms": _pct(0.95),
+               "p99_ms": _pct(0.99)}
+    print("request latency: "
+          + " ".join(f"{k[:3]}={v}ms" for k, v in latency.items()))
+    if args.flight_dir:
+        import os
+
+        dumps = sorted(
+            f for f in os.listdir(args.flight_dir)
+            if f.startswith("flight-") and f.endswith(".json")
+        ) if os.path.isdir(args.flight_dir) else []
+        print(f"flight-recorder dumps in {args.flight_dir}: {len(dumps)}")
     if args.report:
         report = {
             "workers": args.workers,
@@ -435,6 +469,7 @@ def cmd_serve(args) -> int:
             "restarts": fleet.restarts_total,
             "availability": fleet.availability,
             "drain_clean": clean,
+            "latency": latency,
             "chaos": {"rate": args.chaos_rate, "seed": args.chaos_seed,
                       "kill_every": args.kill_every,
                       "wedge_site": args.wedge_site},
@@ -446,6 +481,61 @@ def cmd_serve(args) -> int:
             json.dump(report, f, indent=2)
         print(f"fleet report written to {args.report}")
     return 0 if (clean and available) else 1
+
+
+def cmd_trace(args) -> int:
+    """Run one query under tracing and export a stitched Chrome trace.
+
+    Single-process by default; with ``--fleet N`` the query is routed
+    through an N-worker fleet and the trace stitches orchestrator and
+    worker spans (one trace_id) into one Perfetto-loadable timeline.
+    """
+    import json
+
+    from repro.obs import tracer_chrome_trace, validate_chrome_trace
+    from repro.trace import Tracer
+
+    db = build_populated_db(scale=args.scale, seed=args.seed)
+    config = _config(args)
+    tracer = Tracer()
+    if args.fleet:
+        from repro.fleet import connect as fleet_connect
+
+        fleet = fleet_connect(
+            db, workers=args.fleet, config=config, tracer=tracer,
+            name="trace",
+        )
+        try:
+            if args.execute:
+                fleet.execute(args.sql)
+            else:
+                fleet.optimize(args.sql)
+        finally:
+            fleet.close()
+    else:
+        session = connect(
+            db, config=config, tracer=tracer,
+            fallback=not getattr(args, "no_fallback", False),
+        )
+        if args.execute:
+            session.execute(args.sql)
+        else:
+            session.optimize(args.sql)
+    payload = tracer_chrome_trace(tracer)
+    problems = validate_chrome_trace(payload)
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 1
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2)
+    processes = {
+        s.data.get("process", "orchestrator") for s in tracer.spans
+    }
+    print(f"trace {tracer.trace_id}: {len(tracer.spans)} spans across "
+          f"{len(processes)} process(es) written to {args.out}")
+    print("open it at https://ui.perfetto.dev or chrome://tracing")
+    return 0
 
 
 def cmd_dump_metadata(args) -> int:
@@ -630,8 +720,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON fleet report (availability, restarts, drain "
              "status) to PATH",
     )
+    p.add_argument(
+        "--flight-dir", metavar="DIR", default=None,
+        help="directory for worker flight-recorder crash dumps (workers "
+             "flush their recent-query ring there on kill/wedge/fault)",
+    )
     _add_common(p)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one query under tracing and write a Chrome-trace/"
+             "Perfetto JSON timeline (use --fleet N for a stitched "
+             "multi-process trace)",
+    )
+    p.add_argument("sql")
+    p.add_argument(
+        "--out", metavar="PATH", default="trace.json",
+        help="output path for the Chrome-trace JSON (default trace.json)",
+    )
+    p.add_argument(
+        "--fleet", type=int, default=0, metavar="N",
+        help="route the query through an N-worker fleet and stitch "
+             "orchestrator + worker spans into one trace (default: "
+             "single process)",
+    )
+    p.add_argument(
+        "--execute", action="store_true",
+        help="also execute the plan so the trace includes executor "
+             "(and fused compile) spans",
+    )
+    _add_common(p)
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("dump-metadata", help="export catalog metadata to DXL")
     p.add_argument("path")

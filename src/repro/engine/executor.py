@@ -200,6 +200,14 @@ class Executor:
             from repro.engine.fused import fused_chains
 
             self._fused_chains = fused_chains(plan)
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "pipeline_segmented",
+                    chains=len(self._fused_chains),
+                    fused_nodes=sum(
+                        1 + len(c.ops) for c in self._fused_chains.values()
+                    ),
+                )
         self._wanted_selectors = {
             node.op.dpe.selector_col_id
             for node in plan.walk()

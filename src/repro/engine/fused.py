@@ -503,7 +503,17 @@ def run_chain(ex, chain: Pipeline) -> DColumns:
     src = ex._exec(chain.source)
     compiled = chain.compiled
     if compiled is None:
-        compiled = chain.compiled = _compile_chain(chain, src.cols, inners)
+        with ex.tracer.span("fused:compile", ops=len(ops)):
+            compiled = chain.compiled = _compile_chain(
+                chain, src.cols, inners
+            )
+        if ex.tracer.enabled:
+            ex.tracer.record(
+                "chain_compiled",
+                ops=len(ops),
+                stages=len(compiled.stages),
+                chain=chain.describe(),
+            )
 
     # ---- Streaming phase: no metric operations, only row counting. ----
     params = ex._param_env
@@ -693,6 +703,12 @@ def _f_scan(ex, node) -> DColumns:
         ex.cluster.segments,
     )
     hit = ex.cluster.scan_cache.get(key)
+    if ex.tracer.enabled:
+        ex.tracer.record(
+            "scan_cache_hit" if hit is not None else "scan_cache_miss",
+            table=op.table.name,
+            partitions=len(parts),
+        )
     if hit is None:
         rows = ex.cluster.db.scan(op.table.name, parts)
         result = ex._distribute(op, rows)

@@ -33,6 +33,7 @@ from __future__ import annotations
 import multiprocessing
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -126,6 +127,10 @@ class Fleet:
         telemetry: Optional[MetricsRegistry] = None,
         name: str = "fleet",
         mp_start_method: Optional[str] = None,
+        tracer=None,
+        flight_dir: Optional[str] = None,
+        flight_capacity: int = 64,
+        slow_query_ms: Optional[float] = None,
         **config_kwargs,
     ):
         if workers < 1:
@@ -151,6 +156,15 @@ class Fleet:
         self.telemetry = (
             telemetry if telemetry is not None else MetricsRegistry()
         )
+        #: Orchestrator-side tracer: when set (and enabled), every routed
+        #: request runs under a ``fleet:<kind>`` span, trace context is
+        #: injected into the request dict, and the worker's spans are
+        #: adopted back into this tracer's timeline — one stitched trace.
+        self.tracer = tracer
+        #: Worker flight-recorder / slow-log knobs (shipped in the spec).
+        self.flight_dir = flight_dir
+        self.flight_capacity = flight_capacity
+        self.slow_query_ms = slow_query_ms
         self.closed = False
 
         methods = multiprocessing.get_all_start_methods()
@@ -216,6 +230,9 @@ class Fleet:
             shared_plans=self.shared_plans,
             feedback_board=self.feedback_board,
             incarnation=worker.incarnation,
+            flight_dir=self.flight_dir,
+            flight_capacity=self.flight_capacity,
+            slow_query_ms=self.slow_query_ms,
         )
 
     def _spawn(self, worker: _Worker) -> None:
@@ -253,6 +270,12 @@ class Fleet:
             "fleet_restarts_total",
             worker=str(worker.worker_id), reason=reason,
         )
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.record(
+                "fleet_restart",
+                worker=worker.worker_id, reason=reason,
+                incarnation=worker.incarnation,
+            )
         self.telemetry.set_gauge(
             "fleet_worker_up", 0, worker=str(worker.worker_id)
         )
@@ -312,13 +335,34 @@ class Fleet:
                     policy=self.policy.name, worker=str(worker_id),
                 )
                 request = {"id": self._next_id(), "kind": kind, **payload}
+                tracer = (
+                    self.tracer
+                    if self.tracer is not None and self.tracer.enabled
+                    else None
+                )
                 worker.view.in_flight += 1
                 start = time.perf_counter()
+                req_span = None
+                base = 0.0
                 try:
-                    worker.conn.send(request)
-                    if not worker.conn.poll(self.request_timeout_seconds):
-                        raise TimeoutError
-                    response = worker.conn.recv()
+                    span_cm = (
+                        tracer.span(f"fleet:{kind}", worker=worker_id)
+                        if tracer is not None else nullcontext()
+                    )
+                    with span_cm as req_span:
+                        if tracer is not None:
+                            # Trace context crosses the pipe as plain
+                            # dict entries; the worker parents its spans
+                            # under this request span.
+                            request["trace"] = {
+                                "trace_id": tracer.trace_id,
+                                "parent_span_id": req_span.span_id,
+                            }
+                            base = tracer.now()
+                        worker.conn.send(request)
+                        if not worker.conn.poll(self.request_timeout_seconds):
+                            raise TimeoutError
+                        response = worker.conn.recv()
                 except TimeoutError:
                     worker.view.in_flight -= 1
                     self.telemetry.inc(
@@ -338,6 +382,15 @@ class Fleet:
                 self.telemetry.observe(
                     "fleet_request_seconds", time.perf_counter() - start
                 )
+                if tracer is not None and response.get("spans"):
+                    # Worker span times are relative to its request
+                    # begin; rebase them at the moment we sent it.
+                    tracer.adopt_spans(
+                        response["spans"],
+                        base=base,
+                        parent_id=req_span.span_id,
+                        process=f"worker-{worker_id}",
+                    )
                 if not response.get("ok", False):
                     self.telemetry.inc(
                         "fleet_requests_total", outcome="error"

@@ -24,8 +24,11 @@ from typing import Optional
 
 from repro.config import OptimizerConfig
 from repro.errors import ReproError
+from repro.obs.flight import FlightRecorder
+from repro.obs.slowlog import SlowQueryLog
 from repro.service.faults import FaultInjector, FaultSpec, KILLED_EXIT_CODE
 from repro.service.session import Session
+from repro.telemetry.stats_store import QueryStatsStore
 
 #: Request kinds a worker understands.
 REQUEST_KINDS = (
@@ -56,6 +59,12 @@ class WorkerSpec:
     #: a restarted worker does not deterministically re-die at the same
     #: site (the orchestrator also strips explicit kill/wedge specs).
     incarnation: int = 0
+    #: Flight recorder: directory crash dumps are written to (None =
+    #: ring buffer only, never touches disk) and ring capacity.
+    flight_dir: Optional[str] = None
+    flight_capacity: int = 64
+    #: Slow-query log threshold in milliseconds (None = disabled).
+    slow_query_ms: Optional[float] = None
 
 
 def build_session(worker_id: int, spec: WorkerSpec) -> Session:
@@ -76,6 +85,19 @@ def build_session(worker_id: int, spec: WorkerSpec) -> Session:
         from repro.fleet.shared import SharedFeedbackStore
 
         feedback_store = SharedFeedbackStore(board=spec.feedback_board)
+    # Always-on flight recorder: ring buffer in memory, dumps to disk
+    # only when the spec names a directory.  Its FlightTracer becomes
+    # the session tracer (near-zero overhead; spans land in the ring).
+    recorder = FlightRecorder(
+        capacity=spec.flight_capacity,
+        dump_dir=spec.flight_dir,
+        worker=f"worker-{worker_id}",
+    )
+    slow_log = None
+    stats_store = None
+    if spec.slow_query_ms is not None:
+        slow_log = SlowQueryLog(spec.slow_query_ms)
+        stats_store = QueryStatsStore()
     session = Session(
         spec.catalog,
         config=spec.config,
@@ -85,6 +107,9 @@ def build_session(worker_id: int, spec: WorkerSpec) -> Session:
         name=f"worker-{worker_id}",
         faults=faults,
         feedback_store=feedback_store,
+        flight_recorder=recorder,
+        slow_log=slow_log,
+        stats_store=stats_store,
     )
     if session.orca.plan_cache is not None and spec.shared_plans is not None:
         session.orca.plan_cache.shared = spec.shared_plans
@@ -149,8 +174,14 @@ def handle_request(session: Session, request: dict) -> dict:
         return {"ok": True}
     if kind == "die":
         # Orchestrator-driven chaos: die without ceremony, mid-protocol.
+        # The flight recorder is the only thing that survives — flush it
+        # now; os._exit runs no cleanup handlers.
+        if session.flight is not None:
+            session.flight.dump("die_request")
         os._exit(KILLED_EXIT_CODE)
     if kind == "wedge":
+        if session.flight is not None:
+            session.flight.dump("wedge_request")
         time.sleep(request.get("seconds", 3600.0))
         return {"ok": True}
     return {
@@ -162,6 +193,7 @@ def handle_request(session: Session, request: dict) -> dict:
 def worker_main(worker_id: int, conn, spec: WorkerSpec) -> None:
     """Process entry point: serve requests until drained."""
     session = build_session(worker_id, spec)
+    recorder = session.flight
     while True:
         try:
             request = conn.recv()
@@ -174,8 +206,28 @@ def worker_main(worker_id: int, conn, spec: WorkerSpec) -> None:
                 **_worker_stats(session),
             })
             break
+        # Adopt the orchestrator's trace context: the record (and every
+        # span under it) carries the query's trace_id, and the worker's
+        # root span hangs off the orchestrator's request span.
+        trace_ctx = request.get("trace") or {}
+        record = None
+        if recorder is not None:
+            record = recorder.begin(
+                request.get("sql") or request["kind"],
+                trace_id=trace_ctx.get("trace_id"),
+                parent_span_id=trace_ctx.get("parent_span_id"),
+                kind=request["kind"],
+                worker=worker_id,
+            )
+        trips_before = session.metrics.timeouts + session.metrics.quota_trips
         try:
-            response = handle_request(session, request)
+            if recorder is not None:
+                with recorder.tracer.span(
+                    f"worker:{request['kind']}", worker=worker_id
+                ):
+                    response = handle_request(session, request)
+            else:
+                response = handle_request(session, request)
         except ReproError as exc:
             response = {
                 "ok": False,
@@ -184,10 +236,21 @@ def worker_main(worker_id: int, conn, spec: WorkerSpec) -> None:
                 "message": str(exc),
             }
         except Exception as exc:  # pragma: no cover - defensive
+            if recorder is not None:
+                recorder.dump("worker_exception")
             response = {
                 "ok": False, "error_class": type(exc).__name__,
                 "code": "WORKER", "message": str(exc),
             }
+        if record is not None:
+            trips = session.metrics.timeouts + session.metrics.quota_trips
+            if trips > trips_before:
+                # Governor trip: flush while the query is still the
+                # in-flight record, so the dump shows what tripped it.
+                recorder.dump("governor_trip")
+            recorder.end()
+            response["spans"] = [s.to_dict() for s in record.spans]
+            response["trace_id"] = record.trace_id
         response["id"] = req_id
         try:
             conn.send(response)

@@ -1,0 +1,86 @@
+"""Distributed-trace primitives: trace/span identifiers and the Span.
+
+Orca's AMPERe dumps (PAPER.md §7.1) exist so any optimization — on any
+host of a multi-server deployment — can be diagnosed after the fact.
+This module supplies the identifiers that make the same possible for
+*traces*: every query gets one ``trace_id``, every timed region one
+``span_id`` with a ``parent_id`` chain, and the ids survive the fleet's
+pickled request/response protocol so spans emitted in a worker process
+stitch under the orchestrator's spans.
+
+A :class:`Span` is deliberately tiny: a name, the id triplet, start/end
+offsets in *seconds relative to some timeline origin* (a tracer's t0, or
+a flight-recorder record's begin), and a small data dict for provenance
+(``process``, ``worker``, fault context).  Cross-process rebasing is a
+single addition because only offsets ever leave a process — monotonic
+clocks are not comparable across processes, so absolute times never
+travel.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace identifier (one per query/session)."""
+    return uuid.uuid4().hex[:16]
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex-char span identifier."""
+    return uuid.uuid4().hex[:8]
+
+
+@dataclass
+class Span:
+    """One timed region of one process, linked into a trace tree."""
+
+    name: str
+    span_id: str
+    parent_id: Optional[str] = None
+    #: Seconds relative to the owning timeline's origin (tracer t0 or
+    #: flight-record begin) — never an absolute clock reading.
+    start: float = 0.0
+    end: float = 0.0
+    data: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(self.end - self.start, 0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.data:
+            out["data"] = self.data
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Span":
+        return cls(
+            name=payload["name"],
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+            start=payload.get("start", 0.0),
+            end=payload.get("end", 0.0),
+            data=dict(payload.get("data", {})),
+        )
+
+    def shifted(self, offset: float) -> "Span":
+        """The same span rebased onto another timeline."""
+        return Span(
+            name=self.name,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            start=self.start + offset,
+            end=self.end + offset,
+            data=dict(self.data),
+        )

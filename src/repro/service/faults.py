@@ -131,6 +131,10 @@ class FaultInjector:
         #: Resource governor charged by ``alloc`` faults (set by the
         #: session / engine when the query is armed).
         self.governor = None
+        #: Flight recorder (repro.obs.flight) dumped before a fatal
+        #: ``kill``/``wedge`` fires — the process is about to die with no
+        #: cleanup (SIGKILL-style), so the black box must hit disk *here*.
+        self.flight_recorder = None
         self.hits: dict[str, int] = {site: 0 for site in FAULT_SITES}
         self.fired: list[FiredFault] = []
 
@@ -159,10 +163,14 @@ class FaultInjector:
             else:
                 return
         self.fired.append(FiredFault(site, hit, spec.kind, dict(context)))
-        if self.tracer is not None and self.tracer.enabled:
+        if self.tracer is not None:
+            # Unguarded on purpose: a FlightTracer (enabled=False) still
+            # wants the fault in the black box it is about to dump.
             self.tracer.record(
-                "fault_injected", site=site, hit=hit, kind=spec.kind
+                "fault_injected", site=site, hit=hit, fault=spec.kind
             )
+        if spec.kind in ("kill", "wedge") and self.flight_recorder is not None:
+            self.flight_recorder.dump(f"fault_{spec.kind}_{site}")
         if spec.kind == "delay":
             time.sleep(spec.delay_seconds)
         elif spec.kind == "alloc":

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
+from types import SimpleNamespace
 from typing import Optional, Union
 
 from repro.catalog.database import Database
@@ -38,11 +39,13 @@ from repro.errors import (
     ReproError,
     SearchTimeout,
 )
+from repro.obs.flight import FlightRecorder
+from repro.obs.slowlog import SlowQueryLog
 from repro.optimizer import OptimizationResult, Orca
 from repro.planner import LegacyPlanner
 from repro.sql.ast import SelectStmt
 from repro.telemetry.registry import NULL_METRICS
-from repro.telemetry.stats_store import QueryStatsStore
+from repro.telemetry.stats_store import QueryStatsStore, fingerprint_query
 from repro.trace import Tracer
 
 
@@ -102,6 +105,8 @@ class Session:
         telemetry=None,
         stats_store: Optional[QueryStatsStore] = None,
         feedback_store=None,
+        slow_log: Optional[SlowQueryLog] = None,
+        flight_recorder: Optional[FlightRecorder] = None,
     ):
         self.catalog = catalog
         self.config = config or OptimizerConfig()
@@ -115,6 +120,22 @@ class Session:
         self.telemetry = telemetry if telemetry is not None else NULL_METRICS
         #: pg_stat_statements-style per-query aggregates, or None.
         self.stats_store = stats_store
+        #: Structured slow-query / regression log (repro.obs.slowlog).
+        self.slow_log = slow_log
+        #: Always-on flight recorder (repro.obs.flight); its FlightTracer
+        #: becomes the session tracer when no explicit tracer was given,
+        #: so recent query spans land in the ring at near-zero cost.
+        self.flight = flight_recorder
+        if flight_recorder is not None and tracer is None:
+            tracer = flight_recorder.tracer
+        if flight_recorder is not None and faults is not None:
+            faults.flight_recorder = flight_recorder
+        if faults is not None and faults.tracer is None and tracer is not None:
+            # Fired faults belong in the trace / black box.
+            faults.tracer = tracer
+        #: execute() observes the slow log once for the whole query, so
+        #: its internal optimize() call must not observe separately.
+        self._suppress_slow = False
         self.closed = False
         if self.config.enable_cardinality_feedback and feedback_store is None:
             from repro.feedback import FeedbackStore
@@ -162,6 +183,37 @@ class Session:
         """Optimize one statement; always returns a plan unless the
         frontend rejects the query or fallback is disabled/failing."""
         self._check_open()
+        observe = self.slow_log is not None and not self._suppress_slow
+        baseline = None
+        if observe and self.stats_store is not None:
+            baseline = self._baseline_snapshot(sql_or_stmt)
+        owns_record = self.flight is not None and self.flight.current is None
+        if owns_record:
+            fp, normalized = fingerprint_query(sql_or_stmt)
+            self.flight.begin(normalized, session=self.name, fingerprint=fp)
+        phases_before = self._phase_snapshot()
+        start = time.monotonic()
+        try:
+            result = self._optimize_governed(sql_or_stmt)
+        finally:
+            trace_id = getattr(self.tracer, "trace_id", None)
+            if owns_record:
+                self.flight.end()
+        if observe:
+            self._observe_slow(
+                sql_or_stmt,
+                result=result,
+                seconds=time.monotonic() - start,
+                opt_seconds=result.opt_time_seconds,
+                baseline=baseline,
+                trace_id=trace_id,
+                phases=self._phases_since(phases_before),
+            )
+        return result
+
+    def _optimize_governed(
+        self, sql_or_stmt: Union[str, SelectStmt]
+    ) -> OptimizationResult:
         attempt = 0
         while True:
             try:
@@ -255,28 +307,130 @@ class Session:
 
         ``analyze=True`` collects per-node actuals into
         ``result.analysis`` (also attached to ``session.last_result``)."""
-        result = self.optimize(sql_or_stmt)
-        if self._cluster is None:
-            self._cluster = Cluster(self.catalog, segments=self.config.segments)
-        executor = Executor(
-            self._cluster,
-            tracer=self._orca.tracer,
-            metrics_registry=self.telemetry,
-            execution_mode=self.config.execution_mode,
-        )
-        feedback = self._orca.feedback
-        execution = executor.execute(
-            result.plan, result.output_cols,
-            # The feedback loop needs per-node actuals on every execution,
-            # not only when the caller asked for EXPLAIN ANALYZE.
-            analyze=analyze or feedback is not None,
-        )
-        result.analysis = execution.analysis
-        if self.stats_store is not None:
-            self.stats_store.record_execution(sql_or_stmt, execution)
-        if feedback is not None and execution.analysis is not None:
-            self._ingest_feedback(sql_or_stmt, result, execution.analysis)
+        self._check_open()
+        observe = self.slow_log is not None
+        baseline = None
+        if observe and self.stats_store is not None:
+            baseline = self._baseline_snapshot(sql_or_stmt)
+        owns_record = self.flight is not None and self.flight.current is None
+        if owns_record:
+            fp, normalized = fingerprint_query(sql_or_stmt)
+            self.flight.begin(normalized, session=self.name, fingerprint=fp)
+        phases_before = self._phase_snapshot()
+        start = time.monotonic()
+        # One slow-log observation per execute(), covering optimize +
+        # run, instead of a second partial one from the inner optimize.
+        self._suppress_slow = True
+        try:
+            result = self.optimize(sql_or_stmt)
+            if self._cluster is None:
+                self._cluster = Cluster(
+                    self.catalog, segments=self.config.segments
+                )
+            executor = Executor(
+                self._cluster,
+                tracer=self._orca.tracer,
+                metrics_registry=self.telemetry,
+                execution_mode=self.config.execution_mode,
+            )
+            feedback = self._orca.feedback
+            exec_start = time.monotonic()
+            execution = executor.execute(
+                result.plan, result.output_cols,
+                # The feedback loop needs per-node actuals on every
+                # execution, not only on explicit EXPLAIN ANALYZE.
+                analyze=analyze or feedback is not None,
+            )
+            exec_seconds = time.monotonic() - exec_start
+            result.analysis = execution.analysis
+            if self.stats_store is not None:
+                self.stats_store.record_execution(sql_or_stmt, execution)
+            if feedback is not None and execution.analysis is not None:
+                self._ingest_feedback(sql_or_stmt, result, execution.analysis)
+        finally:
+            self._suppress_slow = False
+            trace_id = getattr(self.tracer, "trace_id", None)
+            if owns_record:
+                self.flight.end()
+        if observe:
+            q_error = None
+            if execution.analysis is not None:
+                from repro.verify.qerror import plan_qerror
+
+                q_error = plan_qerror(execution.analysis).geomean
+            self._observe_slow(
+                sql_or_stmt,
+                result=result,
+                seconds=time.monotonic() - start,
+                opt_seconds=result.opt_time_seconds,
+                exec_seconds=exec_seconds,
+                baseline=baseline,
+                trace_id=trace_id,
+                phases=self._phases_since(phases_before),
+                q_error=q_error,
+            )
         return execution
+
+    # ------------------------------------------------------------------
+    def _baseline_snapshot(self, sql_or_stmt):
+        """The query's *prior* stats, frozen before this call runs.
+
+        ``lookup`` returns the live aggregate, which the governed
+        optimize folds this very call into — comparing against it would
+        dilute every regression with the regressed sample itself."""
+        stats = self.stats_store.lookup(sql_or_stmt)
+        if stats is None:
+            return None
+        return SimpleNamespace(
+            calls=stats.calls, mean_opt_seconds=stats.mean_opt_seconds
+        )
+
+    def _phase_snapshot(self) -> Optional[dict]:
+        """Stage-time aggregates before a query (slow-log phase math)."""
+        if self.slow_log is None:
+            return None
+        times = getattr(self.tracer, "stage_times", None)
+        return dict(times) if times is not None else None
+
+    def _phases_since(self, before: Optional[dict]) -> Optional[dict]:
+        times = getattr(self.tracer, "stage_times", None)
+        if times is None:
+            return None
+        before = before or {}
+        out = {
+            name: total - before.get(name, 0.0)
+            for name, total in times.items()
+            if total - before.get(name, 0.0) > 0.0
+        }
+        return out or None
+
+    def _observe_slow(
+        self,
+        sql_or_stmt,
+        *,
+        result: OptimizationResult,
+        seconds: float,
+        opt_seconds: Optional[float] = None,
+        exec_seconds: Optional[float] = None,
+        baseline=None,
+        trace_id: Optional[str] = None,
+        phases: Optional[dict] = None,
+        q_error: Optional[float] = None,
+    ) -> None:
+        fp, normalized = fingerprint_query(sql_or_stmt)
+        self.slow_log.observe(
+            sql=normalized,
+            seconds=seconds,
+            opt_seconds=opt_seconds,
+            exec_seconds=exec_seconds,
+            phases=phases,
+            trace_id=trace_id,
+            plan_source=result.plan_source,
+            q_error=q_error,
+            fingerprint=fp,
+            baseline=baseline,
+            session=self.name,
+        )
 
     def _ingest_feedback(self, sql_or_stmt, result, analysis) -> None:
         """Close the loop after one execution: fold actuals into the
@@ -352,6 +506,8 @@ def connect(
     telemetry=None,
     stats_store: Optional[QueryStatsStore] = None,
     feedback_store=None,
+    slow_log: Optional[SlowQueryLog] = None,
+    flight_recorder: Optional[FlightRecorder] = None,
     **config_kwargs,
 ) -> Session:
     """Open a governed optimizer session — the stable public entry point.
@@ -378,4 +534,6 @@ def connect(
         telemetry=telemetry,
         stats_store=stats_store,
         feedback_store=feedback_store,
+        slow_log=slow_log,
+        flight_recorder=flight_recorder,
     )

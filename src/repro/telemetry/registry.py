@@ -190,6 +190,30 @@ class Histogram(_Family):
         state = self.series.get(_labels_key(labels))
         return state["sum"] if state else 0.0
 
+    def quantile(self, q: float, **labels: Any) -> Optional[float]:
+        """Estimate the q-quantile (0 < q <= 1) from the bucket counts.
+
+        Prometheus-style ``histogram_quantile``: find the bucket that
+        holds the target rank and interpolate linearly inside it.
+        Observations above the last bucket clamp to its bound.  Returns
+        None when the series has no observations.
+        """
+        if not 0.0 < q <= 1.0:
+            raise TelemetryError(f"quantile {q} outside (0, 1]")
+        state = self.series.get(_labels_key(labels))
+        if not state or not state["count"]:
+            return None
+        target = q * state["count"]
+        cumulative = 0
+        prev_bound = 0.0
+        for bound, count in zip(self.buckets, state["bucket_counts"]):
+            cumulative += count
+            if count and cumulative >= target:
+                frac = (target - (cumulative - count)) / count
+                return prev_bound + (bound - prev_bound) * frac
+            prev_bound = bound
+        return self.buckets[-1]
+
 
 class NullMetricsRegistry:
     """The zero-overhead default: every operation is a no-op.
@@ -224,6 +248,9 @@ class NullMetricsRegistry:
 
     def value(self, name: str, **labels: Any) -> float:
         return 0.0
+
+    def quantile(self, name: str, q: float, **labels: Any) -> None:
+        return None
 
     def snapshot(self) -> dict[str, Any]:
         return {}
@@ -317,6 +344,13 @@ class MetricsRegistry:
         if family is None or isinstance(family, Histogram):
             return 0.0
         return family.series.get(_labels_key(labels), 0.0)
+
+    def quantile(self, name: str, q: float, **labels: Any) -> Optional[float]:
+        """Histogram quantile estimate (None for absent/empty series)."""
+        family = self._families.get(self._full_name(name))
+        if not isinstance(family, Histogram):
+            return None
+        return family.quantile(q, **labels)
 
     def families(self) -> list[str]:
         return sorted(self._families)

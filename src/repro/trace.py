@@ -30,7 +30,9 @@ import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.obs.spans import Span, new_span_id, new_trace_id
 
 #: Event kinds emitted by the instrumented pipeline.  ``record`` accepts
 #: any kind string, but these are the ones the built-in instrumentation
@@ -66,6 +68,16 @@ EVENT_KINDS = frozenset({
     "retry",
     "fallback",
     "fault_injected",
+    # Fused pipeline compiler (repro.engine.fused): plan segmentation
+    # into fusable chains, per-chain code generation, and the fused
+    # engine's cluster-level scan-cache outcomes.
+    "pipeline_segmented",
+    "chain_compiled",
+    "scan_cache_hit",
+    "scan_cache_miss",
+    # Fleet orchestration (repro.fleet): a worker restart observed while
+    # a traced query stream was in flight.
+    "fleet_restart",
 })
 
 
@@ -89,6 +101,8 @@ class NullTracer:
     """
 
     enabled = False
+    trace_id: Optional[str] = None
+    spans: tuple = ()
 
     __slots__ = ()
 
@@ -96,8 +110,15 @@ class NullTracer:
         pass
 
     @contextmanager
-    def span(self, stage: str) -> Iterator[None]:
+    def span(self, stage: str, **data: Any) -> Iterator[None]:
         yield
+
+    @property
+    def current_span_id(self) -> Optional[str]:
+        return None
+
+    def now(self) -> float:
+        return 0.0
 
     def count(self, kind: str) -> int:
         return 0
@@ -125,13 +146,34 @@ class Tracer:
     ``capture_events=False`` keeps only the aggregates (counters, stage
     times, job-kind times) — useful when tracing very large optimization
     sessions where the raw event list would dominate memory.
+
+    Every tracer owns a ``trace_id``, and every :meth:`span` is promoted
+    to a :class:`repro.obs.spans.Span` with a ``span_id`` / ``parent_id``
+    chain (the current span stack provides the parent), so one query's
+    spans — including spans adopted from fleet worker processes via
+    :meth:`adopt_spans` — form a single stitched trace exportable as
+    Chrome-trace JSON (:mod:`repro.obs.export`).
+
+    Timestamps are ``time.monotonic()`` *deltas* from the tracer's
+    creation: immune to wall-clock adjustment (NTP steps can never
+    produce negative span durations) and meaningful to ship across
+    processes as offsets.
     """
 
     enabled = True
 
-    def __init__(self, capture_events: bool = True):
+    def __init__(
+        self,
+        capture_events: bool = True,
+        *,
+        trace_id: Optional[str] = None,
+    ):
         self.capture_events = capture_events
+        self.trace_id = trace_id or new_trace_id()
         self.events: list[TraceEvent] = []
+        #: Completed spans, in completion order (children before parents).
+        self.spans: list[Span] = []
+        self._span_stack: list[Span] = []
         #: event kind -> number of times recorded.
         self.counters: dict[str, int] = {}
         #: stage name -> (completed span count, total seconds).
@@ -140,7 +182,17 @@ class Tracer:
         #: scheduler job kind -> (completed jobs, total step seconds).
         self.job_kind_counts: dict[str, int] = {}
         self.job_kind_times: dict[str, float] = {}
-        self._t0 = time.perf_counter()
+        self._t0 = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Seconds since this tracer's timeline origin (monotonic)."""
+        return time.monotonic() - self._t0
+
+    @property
+    def current_span_id(self) -> Optional[str]:
+        """The innermost open span's id (trace-context propagation)."""
+        return self._span_stack[-1].span_id if self._span_stack else None
 
     # ------------------------------------------------------------------
     def record(self, kind: str, **data: Any) -> None:
@@ -155,23 +207,69 @@ class Tracer:
             )
         if self.capture_events:
             self.events.append(
-                TraceEvent(kind, time.perf_counter() - self._t0, data)
+                TraceEvent(kind, time.monotonic() - self._t0, data)
             )
 
     @contextmanager
-    def span(self, stage: str) -> Iterator[None]:
-        """Time a pipeline stage, emitting ``stage_start`` / ``stage_end``."""
-        self.record("stage_start", stage=stage)
-        start = time.perf_counter()
+    def span(self, stage: str, **data: Any) -> Iterator[Span]:
+        """Time a pipeline stage, emitting ``stage_start`` / ``stage_end``
+        and recording a :class:`Span` under the current span stack."""
+        span = Span(
+            name=stage,
+            span_id=new_span_id(),
+            parent_id=self.current_span_id,
+            start=time.monotonic() - self._t0,
+            data=data,
+        )
+        self._span_stack.append(span)
+        self.record(
+            "stage_start", stage=stage,
+            span_id=span.span_id, parent_id=span.parent_id,
+        )
+        start = time.monotonic()
         try:
-            yield
+            yield span
         finally:
-            elapsed = time.perf_counter() - start
+            elapsed = time.monotonic() - start
+            self._span_stack.pop()
+            span.end = span.start + elapsed
+            self.spans.append(span)
             self.stage_counts[stage] = self.stage_counts.get(stage, 0) + 1
             self.stage_times[stage] = (
                 self.stage_times.get(stage, 0.0) + elapsed
             )
-            self.record("stage_end", stage=stage, seconds=elapsed)
+            self.record(
+                "stage_end", stage=stage, seconds=elapsed,
+                span_id=span.span_id,
+            )
+
+    def adopt_spans(
+        self,
+        span_dicts: Iterable[dict],
+        *,
+        base: float,
+        process: Optional[str] = None,
+        parent_id: Optional[str] = None,
+    ) -> list[Span]:
+        """Fold spans from another process into this tracer's timeline.
+
+        ``span_dicts`` carry times relative to their own origin (a fleet
+        worker's request begin); ``base`` is where that origin sits on
+        *this* tracer's timeline (typically :meth:`now` captured when the
+        request was sent).  Spans without a parent are attached under
+        ``parent_id`` so the remote tree hangs off the local request
+        span.  Returns the adopted spans.
+        """
+        adopted = []
+        for payload in span_dicts:
+            span = Span.from_dict(payload).shifted(base)
+            if span.parent_id is None:
+                span.parent_id = parent_id
+            if process is not None:
+                span.data.setdefault("process", process)
+            self.spans.append(span)
+            adopted.append(span)
+        return adopted
 
     # ------------------------------------------------------------------
     def count(self, kind: str) -> int:
@@ -184,6 +282,7 @@ class Tracer:
     def to_dict(self) -> dict[str, Any]:
         return {
             "version": 1,
+            "trace_id": self.trace_id,
             "counters": dict(self.counters),
             "stages": {
                 name: {
@@ -200,6 +299,7 @@ class Tracer:
                 for kind in self.job_kind_counts
             },
             "events": [e.to_dict() for e in self.events],
+            "spans": [s.to_dict() for s in self.spans],
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -209,7 +309,7 @@ class Tracer:
     def from_json(cls, text: str) -> "Tracer":
         """Rebuild a tracer (aggregates + events) from a JSON dump."""
         payload = json.loads(text)
-        tracer = cls()
+        tracer = cls(trace_id=payload.get("trace_id"))
         tracer.counters = dict(payload.get("counters", {}))
         for name, agg in payload.get("stages", {}).items():
             tracer.stage_counts[name] = agg["count"]
@@ -221,6 +321,7 @@ class Tracer:
             TraceEvent(e["kind"], e["t"], e.get("data", {}))
             for e in payload.get("events", [])
         ]
+        tracer.spans = [Span.from_dict(s) for s in payload.get("spans", [])]
         return tracer
 
     # ------------------------------------------------------------------

@@ -36,6 +36,9 @@ EXPECTED_ALL = frozenset({
     "FaultInjector", "FaultSpec",
     # tracing
     "Tracer", "NullTracer", "TraceEvent",
+    # observability: distributed traces, flight recorder, slow-query log
+    "Span", "chrome_trace", "tracer_chrome_trace", "validate_chrome_trace",
+    "FlightRecorder", "FlightTracer", "load_flight_dump", "SlowQueryLog",
     # telemetry (fleet observability)
     "MetricsRegistry", "NullMetricsRegistry", "PlanAnalysis",
     "QueryStats", "QueryStatsStore", "TelemetryError",

@@ -104,7 +104,8 @@ class TestTracer:
         payload = json.loads(text)
         assert payload["version"] == 1
         assert set(payload) == {
-            "version", "counters", "stages", "job_kinds", "events"
+            "version", "trace_id", "counters", "stages", "job_kinds",
+            "events", "spans",
         }
 
     def test_summary_is_tabular(self):
