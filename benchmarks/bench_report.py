@@ -59,6 +59,7 @@ UNGATED_METRICS = (
     "end_to_end_speedup",
     "fused_vs_batch_speedup",
     "fused_vs_row_speedup",
+    "parallel_vs_serial_speedup",
 )
 
 
@@ -176,9 +177,18 @@ def main(argv=None) -> int:
              "microbench report is supplied (default 1.5; pass 0 to "
              "disable)",
     )
+    parser.add_argument(
+        "--min-parallel-speedup", type=float, default=1.3,
+        help="minimum morsel-parallel vs serial fused end-to-end speedup "
+             "required when a microbench report is supplied (default "
+             "1.3; pass 0 to disable).  Auto-skips, with the reason "
+             "logged, when the microbench ran on a 1-CPU machine and "
+             "recorded no parallel numbers",
+    )
     args = parser.parse_args(argv)
 
     fused_failure = None
+    parallel_failure = None
     metrics = run_workload(args.scale, args.segments)
     if args.microbench_report:
         with open(args.microbench_report, encoding="utf-8") as f:
@@ -199,6 +209,23 @@ def main(argv=None) -> int:
                     f"fused executor speedup {fused}x vs batch is below "
                     f"the required {args.min_fused_speedup}x"
                 )
+        parallel = micro.get("parallel", {})
+        metrics["parallel_vs_serial_speedup"] = parallel.get(
+            "parallel_vs_serial"
+        )
+        if args.min_parallel_speedup:
+            if parallel.get("skipped"):
+                print("parallel-speedup gate skipped: "
+                      f"{parallel['skipped']}")
+            elif parallel.get("parallel_vs_serial") is not None:
+                speedup = parallel["parallel_vs_serial"]
+                if speedup < args.min_parallel_speedup:
+                    parallel_failure = (
+                        f"morsel-parallel speedup {speedup}x vs serial "
+                        f"fused (on {parallel.get('cpus')} CPUs with "
+                        f"{parallel.get('workers')} workers) is below "
+                        f"the required {args.min_parallel_speedup}x"
+                    )
     report = {
         "date": datetime.date.today().isoformat(),
         "scale": args.scale,
@@ -218,6 +245,11 @@ def main(argv=None) -> int:
 
     if fused_failure:
         print(f"\nfused-engine gate failed: {fused_failure}",
+              file=sys.stderr)
+        return 1
+
+    if parallel_failure:
+        print(f"\nparallel-speedup gate failed: {parallel_failure}",
               file=sys.stderr)
         return 1
 

@@ -86,7 +86,7 @@ from repro.telemetry import (
 )
 from repro.trace import NullTracer, TraceEvent, Tracer
 
-__version__ = "2.5.0"
+__version__ = "2.6.0"
 
 __all__ = [
     # Session facade (stable public API)

@@ -136,6 +136,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "row-at-a-time reference; all three produce identical rows "
              "and metrics",
     )
+    parser.add_argument(
+        "--parallelism", type=int, default=0, metavar="N",
+        help="morsel-driven parallelism for the fused engine: dispatch "
+             "per-segment streaming morsels across N forked worker "
+             "processes (results are float-identical to serial; 0/1 = "
+             "serial path)",
+    )
 
 
 def _config(args) -> OptimizerConfig:
@@ -151,6 +158,8 @@ def _config(args) -> OptimizerConfig:
     kwargs = {"segments": args.segments}
     if getattr(args, "engine", None):
         kwargs["execution_mode"] = ExecutionMode.coerce(args.engine)
+    if getattr(args, "parallelism", 0):
+        kwargs["parallelism"] = args.parallelism
     if getattr(args, "plan_cache", False) or getattr(
         args, "plan_cache_stats", False
     ):
@@ -290,9 +299,13 @@ def cmd_run(args) -> int:
     tracer = _tracer(args)
     result = _optimize(args, db, args.sql, tracer)
     cluster = Cluster(db, segments=args.segments)
-    out = Executor(cluster, tracer=tracer).execute(
-        result.plan, result.output_cols
-    )
+    with Executor(
+        cluster,
+        tracer=tracer,
+        execution_mode=ExecutionMode.coerce(args.engine),
+        parallelism=getattr(args, "parallelism", 0),
+    ) as executor:
+        out = executor.execute(result.plan, result.output_cols)
     names = getattr(result, "output_names", None) or [
         c.name for c in result.output_cols
     ]
@@ -350,6 +363,16 @@ def cmd_stats(args) -> int:
         print(pool.stats_store.render(limit=args.top))
     print()
     print(pool.telemetry.summary())
+    if config.parallelism >= 2:
+        p95 = pool.telemetry.quantile("morsel_dispatch_seconds", 0.95)
+        print(
+            "morsel pool: "
+            f"workers={int(pool.telemetry.value('morsel_pool_workers'))} "
+            "morsels_dispatched="
+            f"{int(pool.telemetry.value('morsels_dispatched_total'))} "
+            "dispatch_p95="
+            + ("n/a" if p95 is None else f"{p95 * 1000.0:.3f}ms")
+        )
     exposition = pool.prometheus()
     # Validate before anyone scrapes it: a malformed exposition format is
     # an error (CI fails the build on it), not a warning.
@@ -406,6 +429,7 @@ def cmd_serve(args) -> int:
     )
     errors = 0
     served = 0
+    morsel_pools: dict = {}
     try:
         for pass_no in range(args.passes):
             for i, query in enumerate(queries):
@@ -429,9 +453,19 @@ def cmd_serve(args) -> int:
         stats = fleet.worker_stats()
         for wid, s in sorted(stats.items()):
             session = s.get("session", {})
+            mp = s.get("morsel_pool")
+            morsel_pools[wid] = mp
             print(f"worker {wid}: pid={s.get('pid')} "
                   f"queries={session.get('queries', 0)} "
-                  f"sources={session.get('plan_sources', {})}")
+                  f"sources={session.get('plan_sources', {})}"
+                  + (f" morsels={mp.get('morsels_dispatched')}"
+                     if mp else ""))
+        total_morsels = sum(
+            (mp or {}).get("morsels_dispatched", 0)
+            for mp in morsel_pools.values()
+        )
+        print(f"morsel pools: parallelism={config.parallelism} "
+              f"dispatched={total_morsels}")
         exposition = fleet.prometheus()
         parse_prometheus(exposition)
         print(fleet.summary())
@@ -473,6 +507,10 @@ def cmd_serve(args) -> int:
             "chaos": {"rate": args.chaos_rate, "seed": args.chaos_seed,
                       "kill_every": args.kill_every,
                       "wedge_site": args.wedge_site},
+            "morsel_pool": {
+                "parallelism": config.parallelism,
+                "workers": {str(k): v for k, v in morsel_pools.items()},
+            },
             "drain": {str(k): {"drained": v.get("drained"),
                                "exitcode": v.get("exitcode")}
                       for k, v in drained.items()},

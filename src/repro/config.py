@@ -131,6 +131,13 @@ class OptimizerConfig:
     #: ``ExecutionMode.BATCH``, ``False`` to ``ExecutionMode.ROW``.
     #: Warns with ``DeprecationWarning`` when passed.
     batch_execution: InitVar[Optional[bool]] = None
+    #: Morsel-driven intra-query parallelism for the fused engine's
+    #: streaming phase: N >= 2 dispatches per-bucket morsels across a
+    #: persistent pool of N forked worker processes (float-identical to
+    #: serial — the metric replay stays sequential on the coordinator);
+    #: ``0``/``1`` keep today's serial path bit-identical.  Only the
+    #: FUSED mode consults it.
+    parallelism: int = 0
     #: Cache optimized plans keyed by (normalized-query fingerprint,
     #: config, catalog version); literals are parameter markers, so a
     #: repeated query shape skips search and re-binds parameters instead.

@@ -122,6 +122,8 @@ class Executor:
         metrics_registry=None,
         batch_execution: Optional[bool] = None,
         execution_mode: Optional[ExecutionMode] = None,
+        parallelism: int = 0,
+        morsel_pool=None,
     ):
         self.cluster = cluster
         self.params = params or CostParams()
@@ -156,6 +158,23 @@ class Executor:
             self._handlers = self._HANDLERS
         self.tracer = tracer or NULL_TRACER
         self.telemetry = metrics_registry or NULL_METRICS
+        # Morsel-driven parallelism (fused streaming phase only).  A
+        # caller that owns a long-lived pool (Session) passes it via
+        # morsel_pool=; otherwise parallelism>=2 makes this executor
+        # create — and own — one, drained by close().
+        if morsel_pool is not None:
+            self._morsel_pool = morsel_pool if self._fused else None
+            self._owns_pool = False
+        elif self._fused and parallelism:
+            from repro.engine.parallel import make_pool
+
+            self._morsel_pool = make_pool(
+                parallelism, telemetry=self.telemetry
+            )
+            self._owns_pool = self._morsel_pool is not None
+        else:
+            self._morsel_pool = None
+            self._owns_pool = False
         self.time_limit_seconds = time_limit_seconds
         #: When False, each re-execution of a correlated inner plan is
         #: charged in full even if its result was memoized (the legacy
@@ -239,6 +258,21 @@ class Executor:
             rows=rows, columns=cols, metrics=self.metrics,
             analysis=self._analysis,
         )
+
+    def close(self) -> None:
+        """Release executor-owned resources.  Drains the morsel pool if
+        this executor created it (a Session-owned pool is left running
+        for the session's next query).  Idempotent."""
+        if self._owns_pool and self._morsel_pool is not None:
+            self._morsel_pool.shutdown()
+            self._morsel_pool = None
+            self._owns_pool = False
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _record_telemetry(self, plan: PlanNode, rows_out: int) -> None:
         t = self.telemetry

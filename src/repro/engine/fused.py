@@ -25,6 +25,13 @@ Compiled chains are cached on the plan root (``plan._fused_cache``) so
 repeated executions of a cached plan pay compilation once;
 ``PlanNode.__getstate__`` strips the cache so plans still pickle into
 the fleet's ``SharedPlanStore``.
+
+When the executor carries a :class:`repro.engine.parallel.MorselPool`,
+the streaming phase of every stage is dispatched across the pool — one
+morsel per bucket/segment pair — and the results are gathered back in
+bucket order, so the replay phase (and with it every metric, trace
+event and NodeStats figure) is unchanged and float-identical to the
+serial fused path.  See DESIGN.md §3l.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from repro.engine.executor import (
     _agg_init,
     _sort_rows,
 )
+from repro.engine.parallel import ChainSpec, next_chain_key
 from repro.engine.pipeline import Pipeline, fusable_pipelines
 from repro.ops import physical as ph
 from repro.ops.logical import JoinKind
@@ -118,13 +126,18 @@ class _Stage:
 
 
 class CompiledChain:
-    __slots__ = ("stages", "node_cols", "agg_node")
+    __slots__ = ("stages", "node_cols", "agg_node", "key", "spec")
 
     def __init__(self, stages, node_cols, agg_node):
         self.stages: list[_Stage] = stages
         #: id(node) -> output column layout (widths / final result).
         self.node_cols: dict[int, list] = node_cols
         self.agg_node: Optional[PlanNode] = agg_node
+        #: Process-unique id the morsel pool keys worker compile caches
+        #: by, and the picklable compile recipe shipped to each worker
+        #: (at most once per worker); both set by :func:`run_chain`.
+        self.key: int = 0
+        self.spec: Optional[ChainSpec] = None
 
 
 def _partition_stages(ops: list[PlanNode]) -> list[_Stage]:
@@ -479,6 +492,16 @@ def _build_table(i_rows, r_pos) -> dict:
 # Runtime: stream, then replay the batch path's accounting
 # ----------------------------------------------------------------------
 
+def _worth_dispatching(pool, st, cur_buckets, pairs) -> bool:
+    """A stage earns a pool round-trip only when it has more than one
+    morsel; a single bucket would serialize through one worker and pay
+    pickling for nothing.  Identity does not depend on this choice —
+    the inline loop and the pool produce the same per-bucket results."""
+    if st.join is None:
+        return len(cur_buckets) > 1
+    return pairs is not None and len(pairs) > 1
+
+
 def run_chain(ex, chain: Pipeline) -> DColumns:
     """Execute one fused chain.  Called from ``Executor._exec`` in place
     of the top node's handler; the caller still owns the top node's own
@@ -507,6 +530,20 @@ def run_chain(ex, chain: Pipeline) -> DColumns:
             compiled = chain.compiled = _compile_chain(
                 chain, src.cols, inners
             )
+        # The morsel-pool handshake: a process-unique key plus the
+        # picklable recipe workers recompile from (deterministic
+        # codegen, so worker stage functions and counter indices match
+        # this process's compilation exactly).
+        compiled.key = next_chain_key()
+        compiled.spec = ChainSpec(
+            ops=[n.op for n in ops],
+            src_cols=list(src.cols),
+            inner_cols=[
+                (i, list(inners[id(n)].cols))
+                for i, n in enumerate(ops)
+                if type(n.op) is ph.PhysicalHashJoin
+            ],
+        )
         if ex.tracer.enabled:
             ex.tracer.record(
                 "chain_compiled",
@@ -516,7 +553,12 @@ def run_chain(ex, chain: Pipeline) -> DColumns:
             )
 
     # ---- Streaming phase: no metric operations, only row counting. ----
+    # With a morsel pool attached, each stage's per-bucket loop is
+    # scattered across the pool (one morsel per bucket) and gathered in
+    # bucket order; without one, the loops run inline.  Both paths feed
+    # identical per-bucket results into the sequential replay below.
     params = ex._param_env
+    pool = ex._morsel_pool
     counts: dict[int, list[int]] = {}
     kinds: dict[int, str] = {}
     sides: dict[int, list[tuple]] = {}
@@ -524,7 +566,7 @@ def run_chain(ex, chain: Pipeline) -> DColumns:
     cur_kind = src.kind
     cur_buckets = [ch.rows() for ch in src.chunks]
     cur_sizes = src.bucket_sizes()
-    for st in compiled.stages:
+    for stage_idx, st in enumerate(compiled.stages):
         fn = st.fn
         bound = st.bound
         nc = len(st.counter_of)
@@ -533,7 +575,44 @@ def run_chain(ex, chain: Pipeline) -> DColumns:
         has_agg = st.agg is not None
         glist: list[dict] = []
         prev = cur_sizes
-        if st.join is None:
+        pairs = None
+        if st.join is not None:
+            inner = inners[id(st.join)]
+            outer = _Sized(cur_kind, None, cur_sizes, cur_buckets)
+            pairs = ex._join_sides(outer, inner)
+            sides[id(st.join)] = [
+                (seg, len(o_rows), i_rows) for seg, o_rows, i_rows in pairs
+            ]
+            cur_kind = ex._join_output_kind(outer, inner)
+        if pool is not None and _worth_dispatching(pool, st, cur_buckets,
+                                                  pairs):
+            if st.join is None:
+                morsels = [(rows, None) for rows in cur_buckets]
+            else:
+                morsels = [(o_rows, i_rows) for _s, o_rows, i_rows in pairs]
+            with ex.tracer.span(
+                "fused:morsels",
+                stage_idx=stage_idx,
+                morsels=len(morsels),
+                workers=pool.workers,
+            ):
+                results = pool.run_stage(
+                    compiled.key, lambda: compiled.spec, stage_idx,
+                    morsels, params,
+                    # Stage-0 buckets are scan-cache-served with stable
+                    # identity across executions, so they enter the
+                    # pool's resident cache; later stages' buckets are
+                    # fresh objects every pass and ship inline.
+                    cache_source=stage_idx == 0,
+                )
+            for cts, payload in results:
+                if has_agg:
+                    glist.append(payload)
+                else:
+                    out_buckets.append(payload)
+                for i in range(nc):
+                    per_counter[i].append(cts[i])
+        elif st.join is None:
             for rows in cur_buckets:
                 if has_agg:
                     groups: dict = {}
@@ -546,13 +625,8 @@ def run_chain(ex, chain: Pipeline) -> DColumns:
                 for i in range(nc):
                     per_counter[i].append(cts[i])
         else:
-            inner = inners[id(st.join)]
-            outer = _Sized(cur_kind, None, cur_sizes, cur_buckets)
-            pairs = ex._join_sides(outer, inner)
-            meta = []
             tables: dict[int, dict] = {}
             for seg, o_rows, i_rows in pairs:
-                meta.append((seg, len(o_rows), i_rows))
                 table = tables.get(id(i_rows))
                 if table is None:
                     table = tables[id(i_rows)] = _build_table(i_rows, st.r_pos)
@@ -566,8 +640,6 @@ def run_chain(ex, chain: Pipeline) -> DColumns:
                     out_buckets.append(out)
                 for i in range(nc):
                     per_counter[i].append(cts[i])
-            sides[id(st.join)] = meta
-            cur_kind = ex._join_output_kind(outer, inner)
         for node in st.ops_order:
             ci = st.counter_of.get(id(node))
             if ci is not None:

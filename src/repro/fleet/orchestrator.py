@@ -233,6 +233,7 @@ class Fleet:
             flight_dir=self.flight_dir,
             flight_capacity=self.flight_capacity,
             slow_query_ms=self.slow_query_ms,
+            fleet_workers=len(self._workers),
         )
 
     def _spawn(self, worker: _Worker) -> None:

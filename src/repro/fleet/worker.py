@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.config import OptimizerConfig
@@ -65,10 +65,24 @@ class WorkerSpec:
     flight_capacity: int = 64
     #: Slow-query log threshold in milliseconds (None = disabled).
     slow_query_ms: Optional[float] = None
+    #: How many fleet workers share this machine; build_session caps the
+    #: config's morsel ``parallelism`` to ``cpu_count // fleet_workers``
+    #: so a fleet cannot fork-bomb the box.  (Fleet workers are daemonic
+    #: processes, which cannot fork at all — the engine additionally
+    #: degrades them to the serial path at runtime — but the cap also
+    #: protects non-daemonic embeddings that reuse WorkerSpec.)
+    fleet_workers: int = 1
 
 
 def build_session(worker_id: int, spec: WorkerSpec) -> Session:
     """Construct the worker's governed session from its spec."""
+    config = spec.config
+    if config.parallelism >= 2 and spec.fleet_workers > 1:
+        from repro.engine.parallel import fleet_parallelism_cap
+
+        capped = fleet_parallelism_cap(config.parallelism, spec.fleet_workers)
+        if capped != config.parallelism:
+            config = replace(config, parallelism=capped)
     faults = None
     if spec.fault_specs or (spec.fault_seed is not None and spec.fault_rate > 0):
         seed = spec.fault_seed
@@ -100,7 +114,7 @@ def build_session(worker_id: int, spec: WorkerSpec) -> Session:
         stats_store = QueryStatsStore()
     session = Session(
         spec.catalog,
-        config=spec.config,
+        config=config,
         fallback=spec.fallback,
         max_retries=spec.max_retries,
         retry_backoff_seconds=spec.retry_backoff_seconds,
@@ -139,6 +153,7 @@ def _worker_stats(session: Session) -> dict:
         "session": session.metrics.as_dict(),
         "plan_cache": cache.stats() if cache is not None else None,
         "feedback": feedback.stats() if feedback is not None else None,
+        "morsel_pool": session.morsel_stats(),
         "pid": os.getpid(),
     }
 

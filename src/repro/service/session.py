@@ -151,6 +151,11 @@ class Session:
             feedback=feedback_store,
         )
         self._cluster: Optional[Cluster] = None
+        #: Session-owned morsel pool (repro.engine.parallel.MorselPool)
+        #: when ``config.parallelism >= 2``: created lazily, reused
+        #: across queries, drained by close() and on mid-query governor
+        #: trips so no worker processes outlive the session.
+        self._morsel_pool = None
         #: The most recent OptimizationResult (set by optimize/execute).
         self.last_result: Optional[OptimizationResult] = None
 
@@ -332,15 +337,22 @@ class Session:
                 tracer=self._orca.tracer,
                 metrics_registry=self.telemetry,
                 execution_mode=self.config.execution_mode,
+                morsel_pool=self._get_morsel_pool(),
             )
             feedback = self._orca.feedback
             exec_start = time.monotonic()
-            execution = executor.execute(
-                result.plan, result.output_cols,
-                # The feedback loop needs per-node actuals on every
-                # execution, not only on explicit EXPLAIN ANALYZE.
-                analyze=analyze or feedback is not None,
-            )
+            try:
+                execution = executor.execute(
+                    result.plan, result.output_cols,
+                    # The feedback loop needs per-node actuals on every
+                    # execution, not only on explicit EXPLAIN ANALYZE.
+                    analyze=analyze or feedback is not None,
+                )
+            except BaseException:
+                # A governor trip / fault mid-query must not orphan
+                # morsel workers: drain now, respawn lazily next query.
+                self._drain_morsel_pool()
+                raise
             exec_seconds = time.monotonic() - exec_start
             result.analysis = execution.analysis
             if self.stats_store is not None:
@@ -476,7 +488,35 @@ class Session:
         )
 
     # ------------------------------------------------------------------
+    def _get_morsel_pool(self):
+        """The session's lazily-created morsel pool, or None when
+        ``config.parallelism`` keeps execution serial.  One pool per
+        session lifetime, shared across queries; worker processes fork
+        only on the first parallel dispatch."""
+        if self._morsel_pool is None and self.config.parallelism:
+            from repro.engine.parallel import make_pool
+
+            self._morsel_pool = make_pool(
+                self.config.parallelism,
+                telemetry=self.telemetry,
+                name=f"{self.name}-morsels",
+            )
+        return self._morsel_pool
+
+    def _drain_morsel_pool(self) -> None:
+        if self._morsel_pool is not None:
+            self._morsel_pool.shutdown()
+            self._morsel_pool = None
+
+    def morsel_stats(self) -> Optional[dict]:
+        """Morsel-pool counters (workers, morsels dispatched, dispatch
+        p95) — None when parallel execution is off or never engaged."""
+        if self._morsel_pool is None:
+            return None
+        return self._morsel_pool.stats()
+
     def close(self) -> None:
+        self._drain_morsel_pool()
         self.closed = True
 
     def __enter__(self) -> "Session":
